@@ -1,0 +1,29 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one of the paper's tables or figures and prints
+it (run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+artefacts).  Sizes are scaled down from the paper's FPGA runs so the
+whole suite finishes in minutes; the *shape* assertions encode what the
+reproduction is expected to preserve (see EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+#: Instructions per workload measurement (paper: full benchmark runs).
+BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS",
+                                        "25000"))
+
+#: Task sets per utilisation point in Fig. 5 (paper: hundreds).
+BENCH_SETS_PER_POINT = int(os.environ.get("REPRO_BENCH_SETS", "25"))
+
+
+@pytest.fixture(scope="session")
+def bench_instructions():
+    return BENCH_INSTRUCTIONS
+
+
+@pytest.fixture(scope="session")
+def bench_sets_per_point():
+    return BENCH_SETS_PER_POINT

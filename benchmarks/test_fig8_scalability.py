@@ -1,0 +1,41 @@
+"""Fig. 8 — average power and area for Vanilla vs FlexStep as the SoC
+scales from 2 to 32 cores.  Paper claim: FlexStep's increment stays
+nearly linear in the core count (not exponential), because the per-core
+units dominate and the MUX/DEMUX interconnect is still tiny at this
+scale."""
+
+from repro.analysis.power import (
+    PowerAreaModel,
+    is_nearly_linear,
+    scalability_sweep,
+)
+from repro.analysis.reporting import format_fig8
+
+
+def test_fig8_power_and_area(benchmark):
+    points = benchmark.pedantic(scalability_sweep, rounds=1,
+                                iterations=1)
+    print("\n" + format_fig8(points))
+    assert [p.cores for p in points] == [2, 4, 8, 16, 32]
+    # monotone growth, FlexStep always above vanilla
+    for a, b in zip(points, points[1:]):
+        assert b.vanilla_area_mm2 > a.vanilla_area_mm2
+        assert b.vanilla_power_w > a.vanilla_power_w
+    for p in points:
+        assert p.flexstep_area_mm2 > p.vanilla_area_mm2
+        assert p.flexstep_power_w > p.vanilla_power_w
+        assert p.area_overhead < 0.10      # overhead stays small
+        assert p.power_overhead < 0.10
+    # the paper's scalability claim
+    assert is_nearly_linear(points, attr="flexstep_area_mm2")
+    assert is_nearly_linear(points, attr="flexstep_power_w")
+
+
+def test_fig8_axis_anchors(benchmark):
+    """The Fig. 8 y-axis labels: ~0.3→3.3 W and ~2.0→12 mm²."""
+    model = benchmark.pedantic(PowerAreaModel, rounds=1, iterations=1)
+    two, thirty_two = model.point(2), model.point(32)
+    assert abs(two.vanilla_power_w - 0.3) < 0.05
+    assert abs(two.vanilla_area_mm2 - 2.0) < 0.2
+    assert 2.9 <= thirty_two.vanilla_power_w <= 3.5
+    assert 11.0 <= thirty_two.vanilla_area_mm2 <= 13.5

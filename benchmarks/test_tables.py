@@ -1,0 +1,39 @@
+"""Tables II and III.
+
+Table II is the evaluated hardware configuration (regenerated from
+``repro.config``); Table III is the 4-core power/area comparison,
+which the analytic model must reproduce to the paper's precision:
+2.21 % area and ~2.89 % power overhead over Vanilla.
+"""
+
+import pytest
+
+from repro.analysis.power import PowerAreaModel
+from repro.analysis.reporting import format_table2, format_table3
+from repro.config import table2_config
+
+
+def test_table2_configuration(benchmark):
+    text = benchmark.pedantic(format_table2, rounds=1, iterations=1)
+    print("\n" + text)
+    cfg = table2_config()
+    assert cfg.core.clock_hz == 1_600_000_000
+    assert cfg.memory.l1d.size_bytes == 16 * 1024
+    assert cfg.memory.l2.size_bytes == 512 * 1024
+    assert cfg.memory.l2.mshrs == 8
+    assert "1.6GHz" in text and "512-entry BHT" in text
+
+
+def test_table3_overheads(benchmark):
+    point = benchmark.pedantic(
+        lambda: PowerAreaModel().table3(), rounds=1, iterations=1)
+    print("\n" + format_table3(point))
+    # paper Table III, verbatim targets
+    assert point.vanilla_power_w == pytest.approx(0.485, abs=0.005)
+    assert point.flexstep_power_w == pytest.approx(0.499, abs=0.005)
+    assert point.vanilla_area_mm2 == pytest.approx(2.71, abs=0.01)
+    assert point.flexstep_area_mm2 == pytest.approx(2.77, abs=0.01)
+    assert 100 * point.power_overhead == pytest.approx(2.89, abs=0.2)
+    assert 100 * point.area_overhead == pytest.approx(2.21, abs=0.2)
+    # Sec. VI-E storage budget
+    assert PowerAreaModel().storage_bytes_per_core == 1614

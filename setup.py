@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs on environments
+without the ``wheel`` package (pip falls back to ``setup.py develop``).
+Metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

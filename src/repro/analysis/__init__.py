@@ -1,0 +1,41 @@
+"""Experiment runners and analytic models for the paper's evaluation.
+
+* :mod:`slowdown` — Figs. 4(a), 4(b) and 6: performance slowdown of
+  LockStep / FlexStep / Nzdc and of FlexStep's dual- vs triple-core
+  verification modes.
+* :mod:`latency` — Fig. 7: error-detection latency distributions under
+  fault injection.
+* :mod:`power` — Fig. 8 and Table III: analytic area/power model
+  calibrated to the paper's 28 nm synthesis results.
+* :mod:`reporting` — table/figure renderers shared by benches.
+"""
+
+from .slowdown import (
+    SlowdownRow,
+    measure_vanilla_cycles,
+    measure_flexstep,
+    measure_nzdc_cycles,
+    slowdown_suite,
+    verification_mode_comparison,
+)
+from .latency import LatencyResult, detection_latency_experiment
+from .power import PowerAreaModel, PowerAreaPoint, scalability_sweep
+from .reporting import format_fig4, format_fig6, format_fig8, format_table3
+
+__all__ = [
+    "SlowdownRow",
+    "measure_vanilla_cycles",
+    "measure_flexstep",
+    "measure_nzdc_cycles",
+    "slowdown_suite",
+    "verification_mode_comparison",
+    "LatencyResult",
+    "detection_latency_experiment",
+    "PowerAreaModel",
+    "PowerAreaPoint",
+    "scalability_sweep",
+    "format_fig4",
+    "format_fig6",
+    "format_fig8",
+    "format_table3",
+]

@@ -1,0 +1,147 @@
+"""Analytic power/area model (paper Fig. 8 and Tables III, Sec. VI-E).
+
+The paper synthesises the RTL with a TSMC 28 nm PDK and reports:
+
+* Table III (4 cores, incl. L1s and the shared L2):
+  vanilla 2.71 mm² / 0.485 W; FlexStep 2.77 mm² / 0.499 W
+  (+2.21 % area, +2.89 % power).
+* Fig. 8: vanilla area/power for 2–32 cores lands on a straight line in
+  the core count — a shared-L2 constant plus a per-core (core + L1s)
+  increment — and FlexStep tracks it with a nearly linear offset.
+* Per-core FlexStep storage: CPC 8 B + ASS 518 B + DBC 1088 B = 1614 B.
+
+This module reproduces those numbers from a component-additive model:
+``area(n) = A_L2 + n·A_core + n·A_flex + A_ic(n)`` where the
+interconnect term grows with the MUX/DEMUX pair count n(n−1) — tiny at
+these scales, which is exactly why the paper observes near-linear
+scaling (and why it notes a bus/NoC replacement would be needed beyond
+that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..config import FlexStepConfig
+
+#: Calibration anchors from Table III / Fig. 8 (28 nm).
+_VANILLA_AREA_4CORE = 2.71      # mm²
+_VANILLA_POWER_4CORE = 0.485    # W
+_VANILLA_AREA_2CORE = 2.00      # mm² (Fig. 8(b) first point)
+_VANILLA_POWER_2CORE = 0.30     # W  (Fig. 8(a) first point)
+_FLEX_AREA_4CORE = 2.77         # mm²
+_FLEX_POWER_4CORE = 0.499       # W
+
+
+@dataclass(frozen=True)
+class PowerAreaPoint:
+    """One SoC configuration's estimate."""
+
+    cores: int
+    vanilla_area_mm2: float
+    flexstep_area_mm2: float
+    vanilla_power_w: float
+    flexstep_power_w: float
+
+    @property
+    def area_overhead(self) -> float:
+        return self.flexstep_area_mm2 / self.vanilla_area_mm2 - 1.0
+
+    @property
+    def power_overhead(self) -> float:
+        return self.flexstep_power_w / self.vanilla_power_w - 1.0
+
+
+@dataclass(frozen=True)
+class PowerAreaModel:
+    """Component-additive 28 nm area/power estimator."""
+
+    #: Shared uncore (L2 + fabric) area / power.
+    l2_area_mm2: float = field(
+        default=_VANILLA_AREA_2CORE
+        - 2 * (_VANILLA_AREA_4CORE - _VANILLA_AREA_2CORE) / 2)
+    l2_power_w: float = field(
+        default=_VANILLA_POWER_2CORE
+        - 2 * (_VANILLA_POWER_4CORE - _VANILLA_POWER_2CORE) / 2)
+    #: Per-core (core + private L1s) area / power.
+    core_area_mm2: float = field(
+        default=(_VANILLA_AREA_4CORE - _VANILLA_AREA_2CORE) / 2)
+    core_power_w: float = field(
+        default=(_VANILLA_POWER_4CORE - _VANILLA_POWER_2CORE) / 2)
+    #: Per-core FlexStep additions (RCPM + MAL + DBC storage and logic),
+    #: calibrated so the 4-core overhead reproduces Table III.
+    flex_core_area_mm2: float = field(
+        default=(_FLEX_AREA_4CORE - _VANILLA_AREA_4CORE) / 4 * 0.99)
+    flex_core_power_w: float = field(
+        default=(_FLEX_POWER_4CORE - _VANILLA_POWER_4CORE) / 4 * 0.99)
+    #: Interconnect MUX/DEMUX pair cost (grows with n(n−1)).
+    ic_area_per_pair_mm2: float = 5.0e-5
+    ic_power_per_pair_w: float = 1.0e-5
+    flexstep: FlexStepConfig = field(default_factory=FlexStepConfig)
+
+    # -- storage accounting (Sec. VI-E) ---------------------------------
+
+    @property
+    def storage_bytes_per_core(self) -> int:
+        """8 B CPC + 518 B ASS + 1088 B DBC = 1614 B."""
+        return self.flexstep.storage_bytes_per_core
+
+    # -- model ------------------------------------------------------------
+
+    def vanilla_area(self, cores: int) -> float:
+        return self.l2_area_mm2 + cores * self.core_area_mm2
+
+    def vanilla_power(self, cores: int) -> float:
+        return self.l2_power_w + cores * self.core_power_w
+
+    def _ic_pairs(self, cores: int) -> int:
+        return cores * (cores - 1)
+
+    def flexstep_area(self, cores: int) -> float:
+        return (self.vanilla_area(cores)
+                + cores * self.flex_core_area_mm2
+                + self._ic_pairs(cores) * self.ic_area_per_pair_mm2)
+
+    def flexstep_power(self, cores: int) -> float:
+        return (self.vanilla_power(cores)
+                + cores * self.flex_core_power_w
+                + self._ic_pairs(cores) * self.ic_power_per_pair_w)
+
+    def point(self, cores: int) -> PowerAreaPoint:
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        return PowerAreaPoint(
+            cores=cores,
+            vanilla_area_mm2=self.vanilla_area(cores),
+            flexstep_area_mm2=self.flexstep_area(cores),
+            vanilla_power_w=self.vanilla_power(cores),
+            flexstep_power_w=self.flexstep_power(cores))
+
+    def table3(self) -> PowerAreaPoint:
+        """The 4-core comparison of Table III."""
+        return self.point(4)
+
+
+def scalability_sweep(core_counts: Sequence[int] = (2, 4, 8, 16, 32),
+                      model: PowerAreaModel | None = None,
+                      ) -> list[PowerAreaPoint]:
+    """Fig. 8's x-axis sweep."""
+    m = model or PowerAreaModel()
+    return [m.point(n) for n in core_counts]
+
+
+def is_nearly_linear(points: Sequence[PowerAreaPoint], *,
+                     attr: str = "flexstep_area_mm2",
+                     tolerance: float = 0.08) -> bool:
+    """Check the paper's scalability claim: the FlexStep increment over
+    vanilla grows (nearly) proportionally to the core count rather than
+    exponentially.  The relative deviation of per-core increments from
+    their mean must stay within ``tolerance``."""
+    increments = []
+    for p in points:
+        base = p.vanilla_area_mm2 if "area" in attr else p.vanilla_power_w
+        delta = getattr(p, attr) - base
+        increments.append(delta / p.cores)
+    mean = sum(increments) / len(increments)
+    return all(abs(i - mean) / mean <= tolerance for i in increments)

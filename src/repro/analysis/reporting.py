@@ -1,0 +1,102 @@
+"""Text renderers for the reproduced tables and figures.
+
+Every bench target prints through these so the regenerated artefacts
+look like the paper's rows/series and EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..config import SoCConfig, describe_table2
+from .latency import LatencyResult
+from .power import PowerAreaPoint
+from .slowdown import ModeRow, SlowdownRow
+
+
+def _fmt(value: Optional[float], width: int = 8) -> str:
+    if value is None:
+        return " " * (width - 3) + "n/a"
+    return f"{value:{width}.3f}"
+
+
+def format_fig4(rows: Sequence[SlowdownRow], title: str) -> str:
+    """Fig. 4-style slowdown table (LockStep / FlexStep / Nzdc)."""
+    lines = [title,
+             f"{'workload':<16}{'LockStep':>10}{'FlexStep':>10}"
+             f"{'Nzdc':>10}"]
+    for r in rows:
+        lines.append(f"{r.workload:<16}{_fmt(r.lockstep):>10}"
+                     f"{_fmt(r.flexstep):>10}{_fmt(r.nzdc):>10}")
+    return "\n".join(lines)
+
+
+def format_fig6(rows: Sequence[ModeRow]) -> str:
+    """Fig. 6-style dual/triple mode slowdown table."""
+    lines = ["Fig. 6: FlexStep slowdown by verification mode (Parsec)",
+             f"{'workload':<16}{'dual-core':>11}{'triple-core':>13}"]
+    for r in rows:
+        lines.append(f"{r.workload:<16}{r.dual:>11.4f}{r.triple:>13.4f}")
+    return "\n".join(lines)
+
+
+def format_fig7(results: Sequence[LatencyResult]) -> str:
+    """Fig. 7 summary: latency distribution stats per workload."""
+    lines = ["Fig. 7: error-detection latency (µs)",
+             f"{'workload':<16}{'samples':>8}{'detect%':>9}"
+             f"{'mean':>8}{'p99':>8}{'max':>8}"]
+    for r in results:
+        lines.append(
+            f"{r.workload:<16}{len(r.latencies_us):>8}"
+            f"{100 * r.detection_rate:>8.1f}%"
+            f"{r.mean_us:>8.1f}{r.p99_us:>8.1f}{r.max_us:>8.1f}")
+    return "\n".join(lines)
+
+
+def format_fig7_density(result: LatencyResult, *, bins: int = 24,
+                        hi: float = 120.0, width: int = 50) -> str:
+    """ASCII density plot of one workload's latency distribution."""
+    hist = result.histogram(0.0, hi, bins)
+    density = hist.density()
+    peak = max(density) or 1.0
+    lines = [f"{result.workload} latency density "
+             f"({len(result.latencies_us)} samples)"]
+    for b, d in zip(hist.bins(), density):
+        bar = "#" * int(round(width * d / peak))
+        lines.append(f"{b.lo:6.1f}-{b.hi:6.1f} us |{bar}")
+    return "\n".join(lines)
+
+
+def format_fig8(points: Sequence[PowerAreaPoint]) -> str:
+    """Fig. 8-style power & area scaling table."""
+    lines = ["Fig. 8: average power and area, Vanilla vs FlexStep",
+             f"{'cores':>6}{'area V':>10}{'area F':>10}{'Δ%':>7}"
+             f"{'power V':>10}{'power F':>10}{'Δ%':>7}"]
+    for p in points:
+        lines.append(
+            f"{p.cores:>6}"
+            f"{p.vanilla_area_mm2:>10.2f}{p.flexstep_area_mm2:>10.2f}"
+            f"{100 * p.area_overhead:>6.2f}%"
+            f"{p.vanilla_power_w:>10.3f}{p.flexstep_power_w:>10.3f}"
+            f"{100 * p.power_overhead:>6.2f}%")
+    return "\n".join(lines)
+
+
+def format_table3(point: PowerAreaPoint) -> str:
+    """Table III: 4-core vanilla vs FlexStep."""
+    return "\n".join([
+        "Table III: average power & area of Vanilla and FlexStep (4 cores)",
+        f"{'':<12}{'Vanilla':>10}{'FlexStep':>10}{'Overhead':>10}",
+        (f"{'Power (W)':<12}{point.vanilla_power_w:>10.3f}"
+         f"{point.flexstep_power_w:>10.3f}"
+         f"{100 * point.power_overhead:>9.2f}%"),
+        (f"{'Area (mm2)':<12}{point.vanilla_area_mm2:>10.2f}"
+         f"{point.flexstep_area_mm2:>10.2f}"
+         f"{100 * point.area_overhead:>9.2f}%"),
+    ])
+
+
+def format_table2(config: SoCConfig | None = None) -> str:
+    """Table II: evaluated hardware configuration."""
+    return ("Table II: hardware configurations evaluated\n"
+            + describe_table2(config))

@@ -1,0 +1,141 @@
+"""Performance-slowdown experiments (paper Figs. 4 and 6).
+
+Methodology mirrors Sec. VI-A: each workload runs (1) on a vanilla
+core, (2) under FlexStep dual-core verification, (3) rebuilt with Nzdc
+instrumentation, and — trivially — (4) under LockStep, whose
+synchronous per-cycle checking adds no main-core stalls (its cost is
+the duplicated silicon, charged by :mod:`repro.analysis.power`).
+Slowdown is main-core cycles normalised to the vanilla run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..config import SoCConfig
+from ..errors import VerificationMismatch
+from ..flexstep.soc import FlexStepSoC
+from ..isa.program import Program
+from ..sim.stats import geomean
+from ..workloads.generator import GeneratorOptions, build_program
+from ..workloads.profiles import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class SlowdownRow:
+    """One bar group of Fig. 4: a workload's slowdown per scheme."""
+
+    workload: str
+    lockstep: float
+    flexstep: float
+    nzdc: Optional[float]       # None when Nzdc fails to compile
+
+
+def measure_vanilla_cycles(program: Program,
+                           config: SoCConfig | None = None) -> int:
+    """Cycles to run ``program`` with checking disabled."""
+    soc = FlexStepSoC(config or SoCConfig(num_cores=1))
+    soc.load_program(0, program)
+    return soc.run().main_cycles[0]
+
+
+def measure_flexstep(program: Program, *, checkers: int = 1,
+                     config: SoCConfig | None = None,
+                     require_clean: bool = True) -> tuple[int, FlexStepSoC]:
+    """Cycles for the main core under ``checkers``-way verification.
+
+    Returns (main-core cycles, the SoC) so callers can inspect segment
+    results and unit statistics.  ``require_clean`` raises if any
+    segment failed verification (there are no faults in this
+    experiment, so a failure is a harness bug).
+    """
+    cfg = config or SoCConfig(num_cores=checkers + 1)
+    if cfg.num_cores < checkers + 1:
+        raise ValueError(
+            f"{checkers}-checker mode needs {checkers + 1} cores")
+    soc = FlexStepSoC(cfg)
+    soc.load_program(0, program)
+    checker_ids = list(range(1, checkers + 1))
+    for cid in checker_ids:
+        soc.cores[cid].load_program(program)
+    soc.setup_verification(0, checker_ids)
+    stats = soc.run()
+    if require_clean and stats.segments_failed:
+        failed = [r for r in soc.all_results() if not r.ok]
+        raise VerificationMismatch(
+            f"fault-free run failed {stats.segments_failed} segments: "
+            f"{failed[0].detail}")
+    return stats.main_cycles[0], soc
+
+
+def measure_nzdc_cycles(profile: WorkloadProfile,
+                        options: GeneratorOptions,
+                        config: SoCConfig | None = None) -> int:
+    """Cycles for the Nzdc-instrumented build of ``profile``."""
+    nzdc_opts = GeneratorOptions(
+        target_instructions=options.target_instructions,
+        block_instructions=options.block_instructions, mode="nzdc")
+    program = build_program(profile, nzdc_opts)
+    return measure_vanilla_cycles(program, config)
+
+
+def slowdown_suite(profiles: Sequence[WorkloadProfile], *,
+                   target_instructions: int = 40_000,
+                   config: SoCConfig | None = None) -> list[SlowdownRow]:
+    """Fig. 4 rows for a workload suite (LockStep, FlexStep, Nzdc)."""
+    rows = []
+    opts = GeneratorOptions(target_instructions=target_instructions)
+    for profile in profiles:
+        program = build_program(profile, opts)
+        base = measure_vanilla_cycles(program, config)
+        flex_cycles, _soc = measure_flexstep(program, config=config)
+        nzdc = None
+        if profile.nzdc_compiles:
+            nzdc = measure_nzdc_cycles(profile, opts, config) / base
+        rows.append(SlowdownRow(
+            workload=profile.name,
+            lockstep=1.0,     # synchronous checking: no main-core stalls
+            flexstep=flex_cycles / base,
+            nzdc=nzdc))
+    return rows
+
+
+def geomean_row(rows: Sequence[SlowdownRow]) -> SlowdownRow:
+    """The 'geomean' bar group of Fig. 4."""
+    return SlowdownRow(
+        workload="geomean",
+        lockstep=geomean([r.lockstep for r in rows]),
+        flexstep=geomean([r.flexstep for r in rows]),
+        nzdc=geomean([r.nzdc for r in rows if r.nzdc is not None]))
+
+
+@dataclass(frozen=True)
+class ModeRow:
+    """One bar group of Fig. 6: dual- vs triple-core mode slowdown."""
+
+    workload: str
+    dual: float
+    triple: float
+
+
+def verification_mode_comparison(profiles: Sequence[WorkloadProfile], *,
+                                 target_instructions: int = 40_000,
+                                 ) -> list[ModeRow]:
+    """Fig. 6: FlexStep slowdown in dual- vs triple-core mode."""
+    rows = []
+    opts = GeneratorOptions(target_instructions=target_instructions)
+    for profile in profiles:
+        program = build_program(profile, opts)
+        base = measure_vanilla_cycles(program)
+        dual, _ = measure_flexstep(program, checkers=1)
+        triple, _ = measure_flexstep(program, checkers=2)
+        rows.append(ModeRow(workload=profile.name,
+                            dual=dual / base, triple=triple / base))
+    return rows
+
+
+def geomean_mode_row(rows: Sequence[ModeRow]) -> ModeRow:
+    return ModeRow(workload="geomean",
+                   dual=geomean([r.dual for r in rows]),
+                   triple=geomean([r.triple for r in rows]))

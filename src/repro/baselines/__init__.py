@@ -1,0 +1,17 @@
+"""Execution-level baseline mechanisms.
+
+:mod:`lockstep_exec` models classical DCLS/TCLS hardware at commit
+granularity: bound cores execute the same program in strict lockstep
+and every committed instruction is compared.  It demonstrates the two
+properties the paper contrasts FlexStep against: zero main-core
+slowdown, and a fully duplicated (wasted, from a scheduling viewpoint)
+checker core.
+
+The scheduling-level LockStep and HMR baselines live in
+:mod:`repro.sched`; the Nzdc software baseline is an instrumentation
+mode of :mod:`repro.workloads.generator`.
+"""
+
+from .lockstep_exec import LockStepGroup, LockStepMismatch, LockStepRun
+
+__all__ = ["LockStepGroup", "LockStepMismatch", "LockStepRun"]

@@ -1,0 +1,131 @@
+"""Cycle-level Dual/Triple-Core LockStep execution model.
+
+A :class:`LockStepGroup` binds one main core to one or two checker
+cores that share its input stream (same program, same initial state,
+same memory image).  All cores step together; after every commit the
+group compares (pc, instruction, register writes, memory operations).
+Any divergence is flagged immediately — per-cycle detection latency,
+the property that makes LockStep the reference for detection speed and
+the worst case for resource usage.
+
+Checker cores execute against *shadow copies* of memory so a faulty
+checker cannot corrupt architectural state, mirroring how DCLS slaves
+do not drive the bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..config import CoreConfig
+from ..core.core import CommitRecord, Core
+from ..core.memory import DirectPort, MainMemory
+from ..errors import VerificationMismatch
+from ..isa.program import Program
+
+
+class LockStepMismatch(VerificationMismatch):
+    """Raised when the lockstep comparator sees divergent commits."""
+
+
+@dataclass
+class LockStepRun:
+    """Summary of a lockstep execution."""
+
+    instructions: int
+    cycles: int
+    mismatches: int
+    first_mismatch_instruction: Optional[int] = None
+
+    @property
+    def slowdown(self) -> float:
+        """Relative to a lone core: LockStep adds no main-core stalls."""
+        return 1.0
+
+
+#: Hook type for perturbing a checker core before a step (fault models).
+CheckerTamper = Callable[[Core, int], None]
+
+
+class LockStepGroup:
+    """One DCLS (checkers=1) or TCLS (checkers=2) group."""
+
+    def __init__(self, program: Program, *, checkers: int = 1,
+                 config: CoreConfig | None = None,
+                 memory_bytes: int = 64 * 1024 * 1024):
+        if checkers not in (1, 2):
+            raise ValueError("LockStep supports 1 (DCLS) or 2 (TCLS) "
+                             "checkers")
+        cfg = config or CoreConfig()
+        self.program = program
+        self.memories = [MainMemory(memory_bytes)
+                         for _ in range(checkers + 1)]
+        self.cores = []
+        for cid, mem in enumerate(self.memories):
+            mem.load_segment(program.data.words)
+            core = Core(cid, cfg, DirectPort(mem))
+            core.load_program(program)
+            self.cores.append(core)
+        self.mismatches = 0
+        self.first_mismatch_instruction: Optional[int] = None
+        self._instructions = 0
+
+    @property
+    def main(self) -> Core:
+        return self.cores[0]
+
+    @property
+    def checker_cores(self) -> list[Core]:
+        return self.cores[1:]
+
+    def step(self, tamper: Optional[CheckerTamper] = None) -> bool:
+        """Step all cores one instruction; compare commits.
+
+        ``tamper(core, instruction_index)`` may perturb a checker core
+        before it steps (fault injection).  Returns False when the main
+        core has halted.
+        """
+        if self.main.halted:
+            return False
+        records: list[CommitRecord] = []
+        for idx, core in enumerate(self.cores):
+            if tamper is not None and idx > 0:
+                tamper(core, self._instructions)
+            if core.halted:
+                # a diverged checker may halt early; that is a mismatch
+                records.append(None)  # type: ignore[arg-type]
+                continue
+            records.append(core.step())
+        self._instructions += 1
+        reference = records[0]
+        for idx, rec in enumerate(records[1:], start=1):
+            if rec is None or not self._commits_equal(reference, rec):
+                self.mismatches += 1
+                if self.first_mismatch_instruction is None:
+                    self.first_mismatch_instruction = self._instructions
+        return not self.main.halted
+
+    @staticmethod
+    def _commits_equal(a: CommitRecord, b: CommitRecord) -> bool:
+        return (a.pc == b.pc and a.inst == b.inst
+                and a.next_pc == b.next_pc and a.mem_ops == b.mem_ops)
+
+    def run(self, *, max_instructions: int = 10_000_000,
+            tamper: Optional[CheckerTamper] = None,
+            strict: bool = False) -> LockStepRun:
+        """Run to completion; ``strict`` raises on the first mismatch."""
+        while self.step(tamper):
+            if strict and self.mismatches:
+                raise LockStepMismatch(
+                    f"lockstep divergence at instruction "
+                    f"{self.first_mismatch_instruction}")
+            if self._instructions > max_instructions:
+                raise VerificationMismatch(
+                    f"lockstep run exceeded {max_instructions} "
+                    "instructions")
+        return LockStepRun(
+            instructions=self._instructions,
+            cycles=self.main.stats.cycles,
+            mismatches=self.mismatches,
+            first_mismatch_instruction=self.first_mismatch_instruction)

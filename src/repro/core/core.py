@@ -1,0 +1,461 @@
+"""The in-order scalar core: functional execution + cycle-cost timing.
+
+One :meth:`Core.step` executes and commits exactly one instruction,
+returning a :class:`CommitRecord` describing everything the FlexStep
+units need: privilege level, memory operations in commit order, and the
+cycle cost.  Commit hooks let the RCPM/MAL attach without the core
+knowing about them (mirroring the paper's "incorporating the same
+functional units into each core").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..config import CoreConfig
+from ..errors import (
+    ExecutionLimitExceeded,
+    IllegalInstructionError,
+    PrivilegeError,
+)
+from ..isa.instructions import (
+    INST_BYTES,
+    MASK64,
+    Instruction,
+    OpKind,
+    to_signed64,
+)
+from ..isa.program import Program
+from .branch import BranchPredictor
+from .cache import Cache, MemoryHierarchy
+from .memory import MemoryPort
+from .registers import (
+    ArchSnapshot,
+    CSR_INSTRET,
+    CSR_MCAUSE,
+    CSR_MEPC,
+    CSR_MTVEC,
+    CSRFile,
+    ECALL_FROM_KERNEL,
+    ECALL_FROM_USER,
+    Privilege,
+    RegisterFile,
+    SNAPSHOT_CSRS,
+)
+
+
+@dataclass(frozen=True)
+class MemEntry:
+    """One Memory Access Log entry: direction, address, data word.
+
+    ``kind`` is ``"r"`` for a read or ``"w"`` for a write.  AMO/LR/SC
+    instructions expand to multiple entries (paper Sec. III-B).
+    """
+
+    kind: str
+    addr: int
+    data: int
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """Everything observable about one committed instruction."""
+
+    pc: int
+    inst: Instruction
+    priv: Privilege
+    next_pc: int
+    mem_ops: tuple[MemEntry, ...] = ()
+    cycles: int = 1
+    trap: bool = False
+    trap_cause: int = 0
+
+    @property
+    def is_memory(self) -> bool:
+        return bool(self.mem_ops)
+
+
+@dataclass
+class CoreStats:
+    """Cumulative execution counters."""
+
+    instructions: int = 0
+    user_instructions: int = 0
+    cycles: int = 0
+    stall_cycles: int = 0
+    traps: int = 0
+    memory_ops: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+CommitHook = Callable[[CommitRecord], None]
+
+
+class Core:
+    """An in-order scalar core executing one :class:`Program`.
+
+    Parameters
+    ----------
+    core_id:
+        SoC-wide identifier.
+    config:
+        Timing parameters (clock, mul/div latencies, predictor sizes).
+    port:
+        Data-memory port (cached or direct).
+    l1i / hierarchy:
+        Optional instruction-fetch timing path; when omitted, fetches
+        are free (functional-only runs).
+    """
+
+    def __init__(self, core_id: int, config: CoreConfig, port: MemoryPort,
+                 *, l1i: Cache | None = None,
+                 hierarchy: MemoryHierarchy | None = None):
+        self.core_id = core_id
+        self.config = config
+        self.port = port
+        self.l1i = l1i
+        self.hierarchy = hierarchy
+        self.regs = RegisterFile()
+        self.csrs = CSRFile()
+        self.priv = Privilege.USER
+        self.pc = 0
+        self.halted = False
+        self.program: Optional[Program] = None
+        self.predictor = BranchPredictor(config.branch_predictor)
+        self.stats = CoreStats()
+        self._reservation: Optional[int] = None
+        self._pending_interrupt: Optional[int] = None
+        self._hooks: list[CommitHook] = []
+
+    # ------------------------------------------------------------------
+    # setup / control
+    # ------------------------------------------------------------------
+
+    def load_program(self, program: Program, *, entry: int | None = None,
+                     ) -> None:
+        """Point the core at ``program`` and jump to its entry."""
+        self.program = program
+        self.pc = entry if entry is not None else program.entry
+        self.halted = False
+
+    def add_commit_hook(self, hook: CommitHook) -> None:
+        self._hooks.append(hook)
+
+    def remove_commit_hook(self, hook: CommitHook) -> None:
+        self._hooks.remove(hook)
+
+    def raise_interrupt(self, cause: int) -> None:
+        """Post an asynchronous interrupt taken before the next step."""
+        self._pending_interrupt = cause
+
+    def snapshot(self) -> ArchSnapshot:
+        """Capture the architectural state as a Register Checkpoint."""
+        return ArchSnapshot(
+            npc=self.pc,
+            regs=self.regs.snapshot(),
+            csrs=tuple(self.csrs.raw_read(i) for i in SNAPSHOT_CSRS),
+        )
+
+    def restore(self, snap: ArchSnapshot) -> None:
+        """Apply a Register Checkpoint (the checker's ``C.apply``+``C.jal``)."""
+        self.regs.load(snap.regs)
+        for idx, value in zip(SNAPSHOT_CSRS, snap.csrs):
+            self.csrs.raw_write(idx, value)
+        self.pc = snap.npc
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> CommitRecord:
+        """Execute one instruction (or take one pending interrupt)."""
+        if self.halted:
+            raise IllegalInstructionError(
+                f"core {self.core_id} is halted")
+        if self.program is None:
+            raise IllegalInstructionError(
+                f"core {self.core_id} has no program loaded")
+
+        if self._pending_interrupt is not None:
+            record = self._take_interrupt()
+            self._dispatch(record)
+            return record
+
+        pc = self.pc
+        inst = self.program.fetch(pc)
+        cycles = 1
+        if self.l1i is not None and self.hierarchy is not None:
+            cycles += self.hierarchy.fetch_access(self.l1i, pc)
+
+        record = self._execute(pc, inst, cycles)
+        self._dispatch(record)
+        return record
+
+    def run(self, max_instructions: int = 1_000_000) -> CoreStats:
+        """Step until halt; raises on exceeding the watchdog budget."""
+        executed = 0
+        while not self.halted:
+            self.step()
+            executed += 1
+            if executed > max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"core {self.core_id} exceeded {max_instructions} "
+                    "instructions without halting")
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, record: CommitRecord) -> None:
+        self.stats.instructions += 1
+        if record.priv is Privilege.USER:
+            self.stats.user_instructions += 1
+        self.stats.cycles += record.cycles
+        self.stats.memory_ops += len(record.mem_ops)
+        if record.trap:
+            self.stats.traps += 1
+        self.csrs.raw_write(CSR_INSTRET,
+                            self.csrs.raw_read(CSR_INSTRET) + 1)
+        for hook in self._hooks:
+            hook(record)
+
+    def _take_interrupt(self) -> CommitRecord:
+        cause = self._pending_interrupt
+        assert cause is not None
+        self._pending_interrupt = None
+        prior_priv = self.priv
+        self.csrs.raw_write(CSR_MEPC, self.pc)
+        self.csrs.raw_write(CSR_MCAUSE, cause)
+        self.priv = Privilege.KERNEL
+        self.pc = self.csrs.raw_read(CSR_MTVEC)
+        return CommitRecord(pc=self.csrs.raw_read(CSR_MEPC),
+                            inst=Instruction("nop"),
+                            priv=prior_priv, next_pc=self.pc,
+                            cycles=self.config.branch_predictor.
+                            mispredict_penalty_cycles,
+                            trap=True, trap_cause=cause)
+
+    def _execute(self, pc: int, inst: Instruction, cycles: int,
+                 ) -> CommitRecord:
+        op = inst.op
+        kind = inst.info.kind
+        regs = self.regs
+        next_pc = pc + INST_BYTES
+        mem_ops: tuple[MemEntry, ...] = ()
+        trap = False
+        trap_cause = 0
+        prior_priv = self.priv
+
+        if kind is OpKind.ALU:
+            regs.write(inst.rd, self._alu(inst))
+        elif kind is OpKind.MUL:
+            regs.write(inst.rd,
+                       (regs.read(inst.rs1) * regs.read(inst.rs2)) & MASK64)
+            cycles += self.config.mul_latency_cycles - 1
+        elif kind is OpKind.DIV:
+            regs.write(inst.rd, self._divide(inst))
+            cycles += self.config.div_latency_cycles - 1
+        elif kind is OpKind.LOAD:
+            addr = (regs.read(inst.rs1) + inst.imm) & MASK64
+            value, mem_cycles = self.port.read(addr)
+            regs.write(inst.rd, value)
+            mem_ops = (MemEntry("r", addr, value),)
+            cycles += mem_cycles - 1
+        elif kind is OpKind.STORE:
+            addr = (regs.read(inst.rs1) + inst.imm) & MASK64
+            value = regs.read(inst.rs2)
+            mem_cycles = self.port.write(addr, value)
+            mem_ops = (MemEntry("w", addr, value),)
+            cycles += mem_cycles - 1
+        elif kind is OpKind.LR:
+            addr = regs.read(inst.rs1)
+            value, mem_cycles = self.port.read(addr)
+            regs.write(inst.rd, value)
+            self._reservation = addr
+            mem_ops = (MemEntry("r", addr, value),)
+            cycles += mem_cycles - 1
+        elif kind is OpKind.SC:
+            addr = regs.read(inst.rs1)
+            value = regs.read(inst.rs2)
+            if self._reservation == addr:
+                mem_cycles = self.port.write(addr, value)
+                regs.write(inst.rd, 0)
+                mem_ops = (MemEntry("w", addr, value),)
+                cycles += mem_cycles - 1
+            else:
+                regs.write(inst.rd, 1)
+            self._reservation = None
+        elif kind is OpKind.AMO:
+            addr = regs.read(inst.rs1)
+            old, read_cycles = self.port.read(addr)
+            new = self._amo_value(op, old, regs.read(inst.rs2))
+            write_cycles = self.port.write(addr, new)
+            regs.write(inst.rd, old)
+            mem_ops = (MemEntry("r", addr, old), MemEntry("w", addr, new))
+            cycles += read_cycles + write_cycles - 1
+        elif kind is OpKind.BRANCH:
+            taken = self._branch_taken(inst)
+            if self.predictor.update_branch(pc, taken):
+                cycles += self.config.branch_predictor.\
+                    mispredict_penalty_cycles
+            if taken:
+                next_pc = pc + inst.imm
+        elif kind is OpKind.JUMP:
+            next_pc, extra = self._jump(pc, inst)
+            cycles += extra
+        elif kind is OpKind.CSR:
+            self._csr_op(inst)
+        elif kind is OpKind.SYSTEM:
+            if op == "ecall":
+                trap = True
+                trap_cause = (ECALL_FROM_USER
+                              if self.priv is Privilege.USER
+                              else ECALL_FROM_KERNEL)
+                self.csrs.raw_write(CSR_MEPC, next_pc)
+                self.csrs.raw_write(CSR_MCAUSE, trap_cause)
+                self.priv = Privilege.KERNEL
+                next_pc = self.csrs.raw_read(CSR_MTVEC)
+                cycles += self.config.branch_predictor.\
+                    mispredict_penalty_cycles
+            elif op == "mret":
+                if prior_priv is not Privilege.KERNEL:
+                    raise PrivilegeError("mret from user mode")
+                self.priv = Privilege.USER
+                next_pc = self.csrs.raw_read(CSR_MEPC)
+                cycles += self.config.branch_predictor.\
+                    mispredict_penalty_cycles
+            else:  # pragma: no cover - registry guards this
+                raise IllegalInstructionError(f"unknown system op {op!r}")
+        elif kind is OpKind.HALT:
+            self.halted = True
+        else:  # pragma: no cover - registry guards this
+            raise IllegalInstructionError(f"unhandled op kind {kind}")
+
+        self.pc = next_pc
+        return CommitRecord(pc=pc, inst=inst, priv=prior_priv,
+                            next_pc=next_pc, mem_ops=mem_ops,
+                            cycles=cycles, trap=trap,
+                            trap_cause=trap_cause)
+
+    def _alu(self, inst: Instruction) -> int:
+        regs = self.regs
+        op = inst.op
+        a = regs.read(inst.rs1)
+        b = inst.imm if inst.info.has_imm else regs.read(inst.rs2)
+        if op in ("add", "addi", "nop"):
+            return (a + b) & MASK64
+        if op == "sub":
+            return (a - b) & MASK64
+        if op in ("and", "andi"):
+            return a & (b & MASK64)
+        if op in ("or", "ori"):
+            return a | (b & MASK64)
+        if op in ("xor", "xori"):
+            return a ^ (b & MASK64)
+        if op in ("slt", "slti"):
+            return 1 if to_signed64(a) < to_signed64(b) else 0
+        if op == "sltu":
+            return 1 if a < (b & MASK64) else 0
+        if op in ("sll", "slli"):
+            return (a << (b & 63)) & MASK64
+        if op in ("srl", "srli"):
+            return a >> (b & 63)
+        if op in ("sra", "srai"):
+            return (to_signed64(a) >> (b & 63)) & MASK64
+        if op == "lui":
+            return (inst.imm << 12) & MASK64
+        raise IllegalInstructionError(f"unknown ALU op {op!r}")
+
+    def _divide(self, inst: Instruction) -> int:
+        a = to_signed64(self.regs.read(inst.rs1))
+        b = to_signed64(self.regs.read(inst.rs2))
+        if inst.op == "div":
+            if b == 0:
+                return MASK64  # RISC-V: division by zero yields -1
+            return int(a / b) & MASK64  # truncate toward zero
+        if b == 0:
+            return a & MASK64  # remainder by zero yields dividend
+        return (a - int(a / b) * b) & MASK64
+
+    @staticmethod
+    def _amo_value(op: str, old: int, rs2: int) -> int:
+        if op == "amoadd":
+            return (old + rs2) & MASK64
+        if op == "amoswap":
+            return rs2
+        if op == "amoand":
+            return old & rs2
+        if op == "amoor":
+            return old | rs2
+        if op == "amoxor":
+            return old ^ rs2
+        if op == "amomax":
+            return old if to_signed64(old) >= to_signed64(rs2) else rs2
+        if op == "amomin":
+            return old if to_signed64(old) <= to_signed64(rs2) else rs2
+        raise IllegalInstructionError(f"unknown AMO {op!r}")
+
+    def _branch_taken(self, inst: Instruction) -> bool:
+        a = self.regs.read(inst.rs1)
+        b = self.regs.read(inst.rs2)
+        op = inst.op
+        if op == "beq":
+            return a == b
+        if op == "bne":
+            return a != b
+        if op == "blt":
+            return to_signed64(a) < to_signed64(b)
+        if op == "bge":
+            return to_signed64(a) >= to_signed64(b)
+        if op == "bltu":
+            return a < b
+        if op == "bgeu":
+            return a >= b
+        raise IllegalInstructionError(f"unknown branch {op!r}")
+
+    def _jump(self, pc: int, inst: Instruction) -> tuple[int, int]:
+        """Resolve jal/jalr; returns (target, extra_cycles)."""
+        penalty = self.config.branch_predictor.mispredict_penalty_cycles
+        extra = 0
+        if inst.op == "jal":
+            target = pc + inst.imm
+            if inst.rd != 0:
+                self.regs.write(inst.rd, pc + INST_BYTES)
+                self.predictor.push_return(pc + INST_BYTES)
+            return target, extra
+        # jalr
+        target = (self.regs.read(inst.rs1) + inst.imm) & MASK64 & ~1
+        if inst.rd == 0 and inst.rs1 == 1:
+            # return: predict via RAS
+            predicted = self.predictor.pop_return()
+            if predicted != target:
+                extra = penalty
+        else:
+            if self.predictor.update_target(pc, target):
+                extra = penalty
+            if inst.rd != 0:
+                self.regs.write(inst.rd, pc + INST_BYTES)
+                self.predictor.push_return(pc + INST_BYTES)
+                return target, extra
+        if inst.rd != 0:
+            self.regs.write(inst.rd, pc + INST_BYTES)
+        return target, extra
+
+    def _csr_op(self, inst: Instruction) -> None:
+        csr = inst.imm
+        old = self.csrs.read(csr, self.priv)
+        src = self.regs.read(inst.rs1)
+        if inst.op == "csrrw":
+            self.csrs.write(csr, src, self.priv)
+        elif inst.op == "csrrs":
+            if inst.rs1 != 0:
+                self.csrs.write(csr, old | src, self.priv)
+        elif inst.op == "csrrc":
+            if inst.rs1 != 0:
+                self.csrs.write(csr, old & ~src, self.priv)
+        self.regs.write(inst.rd, old)

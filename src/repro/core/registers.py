@@ -1,0 +1,171 @@
+"""Architectural state: register file, CSRs, privilege, snapshots.
+
+:class:`ArchSnapshot` is the unit the RCPM's ASS stores — the paper's
+*Register Checkpoint* — so it is immutable and hashable, and it knows its
+own serialised size (which feeds the DBC capacity accounting).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import PrivilegeError
+from ..isa.instructions import MASK64, REG_COUNT
+
+# Machine CSR indices (RISC-V numbering where applicable).
+CSR_MTVEC = 0x305
+CSR_MSCRATCH = 0x340
+CSR_MEPC = 0x341
+CSR_MCAUSE = 0x342
+CSR_CYCLE = 0xC00
+CSR_INSTRET = 0xC02
+
+#: CSRs writable from user mode (none, in this model).
+_USER_WRITABLE: frozenset[int] = frozenset()
+
+#: CSRs readable from user mode.
+_USER_READABLE = frozenset({CSR_CYCLE, CSR_INSTRET})
+
+#: CSRs captured in a Register Checkpoint.  User-mode checking only needs
+#: user-visible state; mscratch is included because the paper's ASS stores
+#: "general architectural states" used across the kernel boundary.
+SNAPSHOT_CSRS = (CSR_MSCRATCH,)
+
+ECALL_FROM_USER = 8
+ECALL_FROM_KERNEL = 11
+
+
+class Privilege(enum.IntEnum):
+    """Privilege level; FlexStep checks user-mode execution only."""
+
+    USER = 0
+    KERNEL = 3
+
+
+class RegisterFile:
+    """32 integer registers with x0 hard-wired to zero."""
+
+    __slots__ = ("_regs",)
+
+    def __init__(self, values: Iterable[int] | None = None):
+        self._regs = [0] * REG_COUNT
+        if values is not None:
+            vals = list(values)
+            if len(vals) != REG_COUNT:
+                raise ValueError(
+                    f"expected {REG_COUNT} register values, got {len(vals)}")
+            for i, v in enumerate(vals):
+                self._regs[i] = v & MASK64
+            self._regs[0] = 0
+
+    def read(self, index: int) -> int:
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        if index != 0:
+            self._regs[index] = value & MASK64
+
+    def snapshot(self) -> tuple[int, ...]:
+        return tuple(self._regs)
+
+    def load(self, values: Iterable[int]) -> None:
+        vals = list(values)
+        if len(vals) != REG_COUNT:
+            raise ValueError(
+                f"expected {REG_COUNT} register values, got {len(vals)}")
+        for i, v in enumerate(vals):
+            self._regs[i] = v & MASK64
+        self._regs[0] = 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegisterFile):
+            return NotImplemented
+        return self._regs == other._regs
+
+
+class CSRFile:
+    """Control & status registers with privilege-checked access."""
+
+    def __init__(self) -> None:
+        self._csrs: dict[int, int] = {
+            CSR_MTVEC: 0,
+            CSR_MSCRATCH: 0,
+            CSR_MEPC: 0,
+            CSR_MCAUSE: 0,
+            CSR_CYCLE: 0,
+            CSR_INSTRET: 0,
+        }
+
+    def read(self, index: int, priv: Privilege) -> int:
+        if priv is Privilege.USER and index not in _USER_READABLE:
+            raise PrivilegeError(
+                f"CSR {index:#x} not readable from user mode")
+        return self._csrs.get(index, 0)
+
+    def write(self, index: int, value: int, priv: Privilege) -> None:
+        if priv is Privilege.USER and index not in _USER_WRITABLE:
+            raise PrivilegeError(
+                f"CSR {index:#x} not writable from user mode")
+        self._csrs[index] = value & MASK64
+
+    def raw_read(self, index: int) -> int:
+        """Privilege-unchecked read (hardware-internal paths)."""
+        return self._csrs.get(index, 0)
+
+    def raw_write(self, index: int, value: int) -> None:
+        """Privilege-unchecked write (hardware-internal paths)."""
+        self._csrs[index] = value & MASK64
+
+
+@dataclass(frozen=True)
+class ArchSnapshot:
+    """A Register Checkpoint: pc + integer registers + snapshot CSRs.
+
+    ``npc`` is the address the *next* instruction will issue from; the
+    checker's ``C.jal`` jumps there when applying an SCP (Tab. I).
+    """
+
+    npc: int
+    regs: tuple[int, ...]
+    csrs: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.regs) != REG_COUNT:
+            raise ValueError(
+                f"snapshot needs {REG_COUNT} registers, got {len(self.regs)}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialised size: 8 B per register/CSR plus 8 B for npc.
+
+        32 regs + 1 csr + npc = 34 words = 272 B; two snapshots (SCP+ECP)
+        fit in the paper's 518 B ASS budget (Sec. VI-E) with headroom
+        for status flags.
+        """
+        return 8 * (1 + len(self.regs) + len(self.csrs))
+
+    def words(self) -> tuple[int, ...]:
+        """Flat word view (used for fault injection)."""
+        return (self.npc, *self.regs, *self.csrs)
+
+    @staticmethod
+    def from_words(words: tuple[int, ...], num_csrs: int) -> "ArchSnapshot":
+        npc = words[0]
+        regs = words[1:1 + REG_COUNT]
+        csrs = words[1 + REG_COUNT:1 + REG_COUNT + num_csrs]
+        return ArchSnapshot(npc=npc, regs=regs, csrs=csrs)
+
+    def diff(self, other: "ArchSnapshot") -> list[str]:
+        """Human-readable field differences (error reports, tests)."""
+        out = []
+        if self.npc != other.npc:
+            out.append(f"npc: {self.npc:#x} != {other.npc:#x}")
+        for i, (a, b) in enumerate(zip(self.regs, other.regs)):
+            if a != b:
+                out.append(f"x{i}: {a:#x} != {b:#x}")
+        for i, (a, b) in enumerate(zip(self.csrs, other.csrs)):
+            if a != b:
+                out.append(f"csr[{i}]: {a:#x} != {b:#x}")
+        return out

@@ -1,0 +1,207 @@
+"""Fault injection into forwarded verification data (paper Sec. VI-C).
+
+The paper "injected errors in the forwarded data from the main core,
+e.g., memory access data of MAL and architectural register data of ASS,
+simulating the hardware faults without disrupting the main core's
+normal execution."  :class:`FaultInjector` reproduces that exactly: it
+taps a channel's push path and flips one bit in the payload of selected
+packets.  The main core's execution is untouched; only the copy the
+checker sees is corrupted.
+
+Detection matching: each injected fault records its segment id and
+injection cycle; after the run, :meth:`FaultInjector.latencies` pairs
+faults with the checker's failed :class:`SegmentResult` for the same
+segment and converts the cycle delta to microseconds.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.registers import ArchSnapshot
+from .checker import SegmentResult
+from .dbc import Channel
+from .packets import (
+    EcpPacket,
+    IcPacket,
+    MemPacket,
+    Packet,
+    ProgressPacket,
+    ScpPacket,
+    flip_bit_in_packet,
+)
+
+
+class FaultTarget(enum.Enum):
+    """Which forwarded-data field to corrupt."""
+
+    MAL_ADDR = "mal_addr"    # memory access address
+    MAL_DATA = "mal_data"    # memory access data
+    SCP = "scp"              # start checkpoint register data
+    ECP = "ecp"              # end checkpoint register data
+    IC = "ic"                # instruction count
+    ANY = "any"              # uniformly over eligible packets
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault and (after the run) its detection outcome."""
+
+    target: FaultTarget
+    segment: int
+    inject_cycle: int
+    word_index: int
+    bit: int
+    detected: bool = False
+    detect_cycle: int = 0
+    detail: str = ""
+
+    def latency_cycles(self) -> Optional[int]:
+        if not self.detected:
+            return None
+        return max(0, self.detect_cycle - self.inject_cycle)
+
+
+_TARGET_TYPES = {
+    FaultTarget.MAL_ADDR: MemPacket,
+    FaultTarget.MAL_DATA: MemPacket,
+    FaultTarget.SCP: ScpPacket,
+    FaultTarget.ECP: EcpPacket,
+    FaultTarget.IC: IcPacket,
+}
+
+
+class FaultInjector:
+    """Corrupts every ``interval``-th eligible packet on a channel.
+
+    Spacing faults across distinct segments keeps detections
+    attributable: the checker reports per-segment results and recovers
+    at the next SCP, so each corrupted segment yields an independent
+    latency sample (the paper collects 5 000–10 000 per workload).
+    """
+
+    def __init__(self, channel: Channel, *,
+                 target: FaultTarget = FaultTarget.ANY,
+                 segment_interval: int = 2,
+                 rng: random.Random | None = None):
+        if segment_interval < 1:
+            raise ValueError("segment_interval must be >= 1")
+        self.channel = channel
+        self.target = target
+        self.segment_interval = segment_interval
+        self.rng = rng or random.Random(0)
+        self.records: list[FaultRecord] = []
+        self._armed_segment: Optional[int] = None
+        self._done_segments: set[int] = set()
+        self._skip_counter = 0
+        channel.add_push_tap(self._tap)
+
+    # ------------------------------------------------------------------
+
+    def _eligible(self, packet: Packet) -> bool:
+        if isinstance(packet, ProgressPacket):
+            return False
+        if self.target is FaultTarget.ANY:
+            return isinstance(packet, (MemPacket, ScpPacket, EcpPacket,
+                                       IcPacket))
+        return isinstance(packet, _TARGET_TYPES[self.target])
+
+    def _tap(self, packet: Packet) -> Packet:
+        if packet.segment in self._done_segments:
+            return packet
+        if packet.segment != self._armed_segment:
+            # First packet of a new segment: decide whether to arm it.
+            self._armed_segment = None
+            self._skip_counter += 1
+            if self._skip_counter < self.segment_interval:
+                self._done_segments.add(packet.segment)
+                return packet
+            self._skip_counter = 0
+            self._armed_segment = packet.segment
+        if not self._eligible(packet):
+            return packet
+        if not self._should_fire(packet):
+            return packet
+        corrupted, record = self._corrupt(packet)
+        self.records.append(record)
+        self._done_segments.add(packet.segment)
+        self._armed_segment = None
+        return corrupted
+
+    def _should_fire(self, packet: Packet) -> bool:
+        """Pick one packet per armed segment.
+
+        Type-specific targets fire on their packet type.  ``ANY``
+        corrupts a mid-segment memory entry with small probability and
+        falls back to the ECP (the segment's last packet) so every armed
+        segment yields exactly one fault.
+        """
+        if self.target in (FaultTarget.SCP, FaultTarget.ECP,
+                           FaultTarget.IC):
+            return True  # _eligible already matched the type
+        if self.target in (FaultTarget.MAL_ADDR, FaultTarget.MAL_DATA):
+            return self.rng.random() < 0.02 or isinstance(packet, EcpPacket)
+        # ANY
+        if isinstance(packet, EcpPacket):
+            return True
+        return self.rng.random() < 0.01
+
+    def _corrupt(self, packet: Packet) -> tuple[Packet, FaultRecord]:
+        if isinstance(packet, (ScpPacket, EcpPacket)):
+            words = len(packet.snapshot.words())
+            word = self.rng.randrange(words)
+        elif isinstance(packet, MemPacket):
+            if self.target is FaultTarget.MAL_ADDR:
+                word = 0
+            elif self.target is FaultTarget.MAL_DATA:
+                word = 1
+            else:
+                word = self.rng.randrange(2)
+        else:  # IcPacket
+            word = 0
+        # Counts and addresses are narrow; flip low-order bits so the
+        # corruption lands in architecturally meaningful bits.
+        bit = self.rng.randrange(16 if isinstance(packet, IcPacket) else 48)
+        target = self.target
+        if target is FaultTarget.ANY:
+            if isinstance(packet, MemPacket):
+                target = (FaultTarget.MAL_ADDR if word == 0
+                          else FaultTarget.MAL_DATA)
+            elif isinstance(packet, ScpPacket):
+                target = FaultTarget.SCP
+            elif isinstance(packet, EcpPacket):
+                target = FaultTarget.ECP
+            else:
+                target = FaultTarget.IC
+        record = FaultRecord(target=target, segment=packet.segment,
+                             inject_cycle=packet.push_cycle,
+                             word_index=word, bit=bit)
+        return flip_bit_in_packet(packet, word, bit), record
+
+    # ------------------------------------------------------------------
+
+    def resolve(self, results: list[SegmentResult]) -> None:
+        """Match checker results to injected faults (call after run)."""
+        failed_by_segment: dict[int, SegmentResult] = {}
+        for res in results:
+            if not res.ok and res.segment not in failed_by_segment:
+                failed_by_segment[res.segment] = res
+        for record in self.records:
+            res = failed_by_segment.get(record.segment)
+            if res is not None:
+                record.detected = True
+                record.detect_cycle = res.detect_cycle
+                record.detail = res.detail
+
+    def latencies_cycles(self) -> list[int]:
+        return [r.latency_cycles() for r in self.records
+                if r.detected and r.latency_cycles() is not None]
+
+    @property
+    def detection_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.detected for r in self.records) / len(self.records)

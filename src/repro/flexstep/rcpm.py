@@ -1,0 +1,246 @@
+"""Register Checkpoint Management + Memory Access Log on the main core.
+
+:class:`MainCoreAdapter` bundles the three per-core units the paper adds
+to a core configured as *main*:
+
+* **CPC** — counts committed user-mode instructions and cuts checking
+  segments at the instruction-count limit or at a privilege switch
+  (Sec. III-A).  Kernel-mode commits are never checked.
+* **ASS** — captures SCP/ECP architectural snapshots and stages them
+  for transmission.
+* **MAL** — packages each committed memory operation (one entry for
+  LD/ST, multiple for LR/SC/AMO) in commit order (Sec. III-B).
+
+The adapter attaches to a :class:`~repro.core.core.Core` through its
+commit hook plus a ``before_step`` call from the SoC loop (needed to
+capture the SCP *before* the first instruction of a segment executes).
+Packets go to the adapter's outbound queue; the SoC flushes that queue
+into the interconnect channels and stalls the core when they are full.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from ..config import FlexStepConfig
+from ..core.core import CommitRecord, Core
+from ..core.registers import Privilege
+from ..isa.instructions import OpKind
+from .dbc import Channel
+from .packets import (
+    EcpPacket,
+    IcPacket,
+    MemPacket,
+    Packet,
+    ProgressPacket,
+    ScpPacket,
+    SegmentCloseReason,
+)
+
+#: Default cycles the main core stalls to extract a snapshot through the
+#: ASS's single register-file read port (34 words, one per cycle).
+SNAPSHOT_CAPTURE_CYCLES = 34
+
+#: Additional per-channel cycles to serialise a snapshot into each FIFO
+#: (17 two-word entries per checker channel).
+SNAPSHOT_TRANSFER_CYCLES = 17
+
+#: Emit a progress heartbeat at least every this many user instructions.
+PROGRESS_INTERVAL = 64
+
+
+@dataclass
+class AdapterStats:
+    segments_opened: int = 0
+    segments_closed: int = 0
+    close_reasons: dict = field(default_factory=dict)
+    mem_packets: int = 0
+    progress_packets: int = 0
+    extraction_stall_cycles: int = 0
+    backpressure_stall_cycles: int = 0
+
+
+class MainCoreAdapter:
+    """CPC + ASS + MAL for one core in *main* attribute."""
+
+    def __init__(self, core: Core, config: FlexStepConfig, *,
+                 capture_cycles: int = SNAPSHOT_CAPTURE_CYCLES,
+                 transfer_cycles: int = SNAPSHOT_TRANSFER_CYCLES,
+                 progress_interval: int = PROGRESS_INTERVAL):
+        self.core = core
+        self.config = config
+        self.capture_cycles = capture_cycles
+        self.transfer_cycles = transfer_cycles
+        self.progress_interval = progress_interval
+        self.channels: list[Channel] = []
+        self.enabled = False
+        self.stats = AdapterStats()
+        # CPC state
+        self._segment_open = False
+        self._segment_id = 0
+        self._count = 0
+        self._last_progress = 0
+        # outbound staging (the main core's own FIFO contents)
+        self._outbox: Deque[Packet] = deque()
+        self._hooked = False
+
+    # ------------------------------------------------------------------
+    # configuration (driven by the FlexStep ISA facade)
+    # ------------------------------------------------------------------
+
+    def associate(self, channels: list[Channel]) -> None:
+        """``M.associate``: bind the checker channel(s)."""
+        self.channels = list(channels)
+
+    def enable(self) -> None:
+        """``M.check.enable``: begin cutting segments at the next
+        user-mode instruction."""
+        if not self.channels:
+            raise RuntimeError("enable() before associate()")
+        if not self._hooked:
+            self.core.add_commit_hook(self._on_commit)
+            self._hooked = True
+        self.enabled = True
+
+    def disable(self) -> None:
+        """``M.check.disable``: close any open segment and stop."""
+        if self._segment_open:
+            self._close_segment(self.core.snapshot(),
+                                SegmentCloseReason.CHECK_DISABLED)
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # SoC-loop interface
+    # ------------------------------------------------------------------
+
+    @property
+    def blocked(self) -> bool:
+        """True when staged packets exceed what the channels accepted —
+        the core must stall (backpressure) until the checkers drain."""
+        return bool(self._outbox)
+
+    def before_step(self) -> None:
+        """Called before the core executes its next instruction.
+
+        Opens a new segment (capturing the SCP) when checking is
+        enabled, no segment is open, and the core sits in user mode.
+        The SCP-extraction stall is charged to the core directly.
+        """
+        if (not self.enabled or self._segment_open
+                or self.core.halted
+                or self.core.priv is not Privilege.USER):
+            return
+        self._segment_id += 1
+        self._segment_open = True
+        self._count = 0
+        self._last_progress = 0
+        self.stats.segments_opened += 1
+        scp = ScpPacket(segment=self._segment_id,
+                        push_cycle=self.core.stats.cycles,
+                        snapshot=self.core.snapshot())
+        self._stage(scp)
+        self._charge_extraction()
+
+    def try_flush(self) -> None:
+        """Move staged packets into every channel (broadcast).
+
+        A packet leaves the outbox only when *all* channels accepted it
+        (one-to-two mode must keep checkers consistent), so a single
+        full channel backpressures the main core.
+        """
+        while self._outbox:
+            packet = self._outbox[0]
+            if not all(ch.can_push(packet) for ch in self.channels):
+                return
+            for ch in self.channels:
+                ch.push(packet)
+            self._outbox.popleft()
+
+    # ------------------------------------------------------------------
+    # CPC / MAL behaviour at commit
+    # ------------------------------------------------------------------
+
+    def _on_commit(self, record: CommitRecord) -> None:
+        if not self.enabled:
+            return
+        if (record.priv is not Privilege.USER or record.trap
+                or record.inst.info.kind is OpKind.HALT):
+            # Kernel-mode commit, the user->kernel transition itself
+            # (ecall / interrupt), or a halt: never part of a segment.
+            # A checker core cannot replay any of these.
+            if self._segment_open:
+                ecp = self.core.snapshot()
+                if record.trap or record.inst.info.kind is OpKind.HALT:
+                    # The architectural point the user thread stopped at
+                    # is the trapped/halted pc, not where the core went.
+                    ecp = type(ecp)(npc=record.pc, regs=ecp.regs,
+                                    csrs=ecp.csrs)
+                self._close_segment(ecp, SegmentCloseReason.PRIV_SWITCH)
+            return
+        if not self._segment_open:
+            # User-mode commit without an open segment can only happen if
+            # enable() raced a step; before_step() opens on the next one.
+            return
+        self._count += 1
+        cycles = self.core.stats.cycles
+        if record.mem_ops:
+            for entry in record.mem_ops:
+                self._stage(MemPacket(segment=self._segment_id,
+                                      push_cycle=cycles,
+                                      count=self._count,
+                                      kind=entry.kind,
+                                      addr=entry.addr,
+                                      data=entry.data))
+                self.stats.mem_packets += 1
+            self._last_progress = self._count
+        elif self._count - self._last_progress >= self.progress_interval:
+            self._stage(ProgressPacket(segment=self._segment_id,
+                                       push_cycle=cycles,
+                                       count=self._count))
+            self._last_progress = self._count
+            self.stats.progress_packets += 1
+        if self._count >= self.config.segment_limit:
+            self._close_segment(self.core.snapshot(),
+                                SegmentCloseReason.LIMIT)
+
+    def _close_segment(self, ecp_snapshot, reason: SegmentCloseReason,
+                       ) -> None:
+        cycles = self.core.stats.cycles
+        self._stage(IcPacket(segment=self._segment_id, push_cycle=cycles,
+                             count=self._count, reason=reason))
+        self._stage(EcpPacket(segment=self._segment_id, push_cycle=cycles,
+                              snapshot=ecp_snapshot))
+        self._segment_open = False
+        self.stats.segments_closed += 1
+        self.stats.close_reasons[reason] = (
+            self.stats.close_reasons.get(reason, 0) + 1)
+        # ECP extraction stalls the core just like SCP capture.
+        self._charge_extraction()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _stage(self, packet: Packet) -> None:
+        self._outbox.append(packet)
+        self.try_flush()
+
+    def _extraction_cost(self) -> int:
+        return (self.capture_cycles
+                + self.transfer_cycles * max(1, len(self.channels)))
+
+    def _charge_extraction(self) -> None:
+        cost = self._extraction_cost()
+        self.core.stats.cycles += cost
+        self.core.stats.stall_cycles += cost
+        self.stats.extraction_stall_cycles += cost
+
+    @property
+    def open_segment_id(self) -> Optional[int]:
+        return self._segment_id if self._segment_open else None
+
+    @property
+    def current_count(self) -> int:
+        return self._count

@@ -1,0 +1,324 @@
+"""FlexStep SoC: homogeneous cores + DBC interconnect + ISA facade.
+
+:class:`FlexStepSoC` builds the Table II platform (n cores, private
+L1s, shared L2) and co-simulates main cores, checker cores and plain
+compute cores by always advancing the core with the smallest local
+cycle count — a conservative event ordering that keeps per-core clocks
+comparable, so backpressure and detection latency are measured on one
+timeline.
+
+:class:`FlexStepControl` is the software-visible face of the custom ISA
+(paper Table I).  The OS layer (:mod:`repro.kernel`) calls it from the
+context switch exactly as Algorithm 1 does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..config import SoCConfig
+from ..core.cache import Cache, MemoryHierarchy
+from ..core.core import Core
+from ..core.memory import CachedPort, MainMemory
+from ..core.registers import CSR_MTVEC
+from ..errors import ConfigurationError, ExecutionLimitExceeded
+from ..isa.program import Program
+from .checker import CheckerEngine, SegmentResult
+from .dbc import SystemInterconnect
+from .rcpm import MainCoreAdapter
+
+
+class CoreAttr(enum.Enum):
+    """Runtime core attribute (paper Sec. II: main / checker / compute)."""
+
+    COMPUTE = "compute"
+    MAIN = "main"
+    CHECKER = "checker"
+
+
+class FlexStepControl:
+    """The Table I custom-ISA control interface.
+
+    ==================  =============================================
+    Instruction         Method
+    ==================  =============================================
+    ``G.IDs.contain``   :meth:`ids_contain` / :meth:`attr_of`
+    ``G.Configure``     :meth:`configure`
+    ``M.associate``     :meth:`associate`
+    ``M.check``         :meth:`check_enable` / :meth:`check_disable`
+    ``C.check_state``   :meth:`check_state`
+    ``C.record``        performed inside ``check_state(busy)``
+    ``C.apply/C.jal``   internal to the checker engine's replay loop
+    ``C.result``        :meth:`result`
+    ==================  =============================================
+    """
+
+    def __init__(self, soc: "FlexStepSoC"):
+        self._soc = soc
+
+    # -- global instructions -------------------------------------------
+
+    def ids_contain(self, attr: CoreAttr, core_id: int) -> bool:
+        """``G.IDs.contain``: is ``core_id`` currently of ``attr``?"""
+        return self._soc.attrs[core_id] is attr
+
+    def attr_of(self, core_id: int) -> CoreAttr:
+        return self._soc.attrs[core_id]
+
+    def configure(self, main_ids: Iterable[int],
+                  checker_ids: Iterable[int]) -> None:
+        """``G.Configure``: write main/checker IDs to the global register.
+
+        Cores in neither set become plain compute cores.
+        """
+        mains = set(main_ids)
+        checkers = set(checker_ids)
+        overlap = mains & checkers
+        if overlap:
+            raise ConfigurationError(
+                f"cores {sorted(overlap)} listed as both main and checker")
+        for cid in mains | checkers:
+            if not 0 <= cid < self._soc.config.num_cores:
+                raise ConfigurationError(f"core id {cid} out of range")
+        for cid in range(self._soc.config.num_cores):
+            if cid in mains:
+                self._soc.attrs[cid] = CoreAttr.MAIN
+            elif cid in checkers:
+                self._soc.attrs[cid] = CoreAttr.CHECKER
+            else:
+                self._soc.attrs[cid] = CoreAttr.COMPUTE
+
+    # -- main-core instructions ------------------------------------------
+
+    def associate(self, main_id: int, checker_ids: Sequence[int]) -> None:
+        """``M.associate``: allocate checker core(s) to a main core."""
+        if self._soc.attrs[main_id] is not CoreAttr.MAIN:
+            raise ConfigurationError(f"core {main_id} is not a main core")
+        for cid in checker_ids:
+            if self._soc.attrs[cid] is not CoreAttr.CHECKER:
+                raise ConfigurationError(f"core {cid} is not a checker core")
+        channels = self._soc.interconnect.configure(main_id, checker_ids)
+        self._soc.adapter_of(main_id).associate(channels)
+        for cid in checker_ids:
+            self._soc.bind_engine(cid)
+
+    def check_enable(self, main_id: int) -> None:
+        """``M.check(enable)``."""
+        self._soc.adapter_of(main_id).enable()
+
+    def check_disable(self, main_id: int) -> None:
+        """``M.check(disable)``."""
+        self._soc.adapter_of(main_id).disable()
+
+    # -- checker-core instructions ----------------------------------------
+
+    def check_state(self, checker_id: int, busy: bool) -> None:
+        """``C.check_state``: busy starts checking (includes ``C.record``);
+        idle stops it and restores the saved context."""
+        engine = self._soc.engine_of(checker_id)
+        if busy:
+            engine.start_checking()
+        else:
+            engine.stop_checking()
+
+    def result(self, checker_id: int) -> list[SegmentResult]:
+        """``C.result``: comparison results accumulated so far."""
+        return self._soc.engine_of(checker_id).results
+
+
+@dataclass
+class SoCRunStats:
+    """Outcome of one co-simulated run."""
+
+    main_cycles: dict
+    total_instructions: int
+    segments_checked: int
+    segments_failed: int
+
+
+class FlexStepSoC:
+    """Co-simulated homogeneous SoC with FlexStep units on every core."""
+
+    def __init__(self, config: SoCConfig | None = None):
+        self.config = config or SoCConfig()
+        mem_cfg = self.config.memory
+        self.memory = MainMemory(mem_cfg.dram_size_bytes)
+        self.l2 = Cache(mem_cfg.l2, name="l2")
+        self.hierarchy = MemoryHierarchy(
+            self.l2, l2_latency=mem_cfg.l2.latency_cycles,
+            dram_latency=mem_cfg.dram_latency_cycles)
+        self.cores: list[Core] = []
+        self._l1is: list[Cache] = []
+        for cid in range(self.config.num_cores):
+            l1d = Cache(mem_cfg.l1d, name=f"l1d{cid}")
+            l1i = Cache(mem_cfg.l1i, name=f"l1i{cid}")
+            port = CachedPort(self.memory, self.hierarchy, l1d)
+            core = Core(cid, self.config.core, port,
+                        l1i=l1i, hierarchy=self.hierarchy)
+            self.cores.append(core)
+            self._l1is.append(l1i)
+        self.interconnect = SystemInterconnect(
+            self.config.num_cores, self.config.flexstep)
+        self.attrs: list[CoreAttr] = (
+            [CoreAttr.COMPUTE] * self.config.num_cores)
+        self._adapters: dict[int, MainCoreAdapter] = {}
+        self._engines: dict[int, CheckerEngine] = {}
+        self.control = FlexStepControl(self)
+
+    # ------------------------------------------------------------------
+    # unit accessors
+    # ------------------------------------------------------------------
+
+    def adapter_of(self, main_id: int) -> MainCoreAdapter:
+        if main_id not in self._adapters:
+            self._adapters[main_id] = MainCoreAdapter(
+                self.cores[main_id], self.config.flexstep)
+        return self._adapters[main_id]
+
+    def bind_engine(self, checker_id: int) -> CheckerEngine:
+        """(Re)bind a checker engine to its inbound channel."""
+        channel = self.interconnect.channel_to(checker_id)
+        if channel is None:
+            raise ConfigurationError(
+                f"checker {checker_id} has no inbound channel")
+        engine = self._engines.get(checker_id)
+        if engine is None or engine.channel is not channel:
+            engine = CheckerEngine(self.cores[checker_id], channel)
+            self._engines[checker_id] = engine
+        return engine
+
+    def engine_of(self, checker_id: int) -> CheckerEngine:
+        engine = self._engines.get(checker_id)
+        if engine is None:
+            raise ConfigurationError(
+                f"checker {checker_id} has no engine; associate first")
+        return engine
+
+    # ------------------------------------------------------------------
+    # convenient setup helpers
+    # ------------------------------------------------------------------
+
+    def load_program(self, core_id: int, program: Program) -> None:
+        """Load ``program`` (text + data segment) onto a core.
+
+        If the program defines a ``_trap_handler`` label, mtvec is
+        pointed at it (firmware-style pre-configuration), so generated
+        workloads can take ecalls immediately.
+        """
+        self.memory.load_segment(program.data.words)
+        core = self.cores[core_id]
+        core.load_program(program)
+        handler = program.labels.get("_trap_handler")
+        if handler is not None:
+            core.csrs.raw_write(CSR_MTVEC, handler)
+
+    def setup_verification(self, main_id: int,
+                           checker_ids: Sequence[int]) -> None:
+        """One call to configure dual/triple-core verification mode."""
+        self.control.configure([main_id], checker_ids)
+        self.control.associate(main_id, checker_ids)
+        self.control.check_enable(main_id)
+        for cid in checker_ids:
+            self.control.check_state(cid, busy=True)
+
+    # ------------------------------------------------------------------
+    # co-simulation
+    # ------------------------------------------------------------------
+
+    def run(self, *, max_instructions: int = 50_000_000,
+            max_cycles: Optional[int] = None) -> SoCRunStats:
+        """Run until every main/compute core halts and all checkers
+        drain.  Per-core local clocks advance in min-time order."""
+        executed = 0
+        active_mains = {cid for cid, attr in enumerate(self.attrs)
+                        if attr in (CoreAttr.MAIN, CoreAttr.COMPUTE)
+                        and self.cores[cid].program is not None}
+        while True:
+            runnable: list[int] = []
+            for cid in list(active_mains):
+                if self.cores[cid].halted:
+                    adapter = self._adapters.get(cid)
+                    if adapter is not None and adapter.enabled:
+                        adapter.disable()
+                        adapter.try_flush()
+                        if adapter.blocked:
+                            runnable.append(cid)
+                            continue
+                    active_mains.discard(cid)
+                else:
+                    runnable.append(cid)
+            checker_pending = []
+            for cid, engine in self._engines.items():
+                if not engine.busy:
+                    continue
+                main_id = self.interconnect.main_of(cid)
+                main_done = main_id is None or (
+                    main_id not in active_mains
+                    and not self._adapter_blocked(main_id))
+                if engine.drained and main_done:
+                    continue
+                checker_pending.append(cid)
+            if not runnable and not checker_pending:
+                break
+            candidates = runnable + checker_pending
+            cid = min(candidates, key=lambda c: self.cores[c].stats.cycles)
+            if cid in self._engines and cid in checker_pending:
+                self._engines[cid].step()
+            else:
+                executed += self._step_main(cid)
+            if executed > max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"SoC exceeded {max_instructions} instructions")
+            if max_cycles is not None and all(
+                    self.cores[c].stats.cycles >= max_cycles
+                    for c in candidates):
+                break
+        return SoCRunStats(
+            main_cycles={cid: self.cores[cid].stats.cycles
+                         for cid in range(self.config.num_cores)},
+            total_instructions=sum(c.stats.instructions
+                                   for c in self.cores),
+            segments_checked=sum(e.stats.segments_checked
+                                 for e in self._engines.values()),
+            segments_failed=sum(e.stats.segments_failed
+                                for e in self._engines.values()),
+        )
+
+    def _adapter_blocked(self, main_id: int) -> bool:
+        adapter = self._adapters.get(main_id)
+        return adapter is not None and adapter.blocked
+
+    def _step_main(self, cid: int) -> int:
+        """Advance a main/compute core by one instruction or stall."""
+        core = self.cores[cid]
+        adapter = self._adapters.get(cid)
+        if adapter is not None and adapter.enabled:
+            if adapter.blocked:
+                adapter.try_flush()
+                if adapter.blocked:
+                    core.stats.cycles += 1
+                    core.stats.stall_cycles += 1
+                    adapter.stats.backpressure_stall_cycles += 1
+                    return 0
+            adapter.before_step()
+        if core.halted:
+            return 0
+        core.step()
+        if adapter is not None:
+            adapter.try_flush()
+        return 1
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def all_results(self) -> list[SegmentResult]:
+        out: list[SegmentResult] = []
+        for engine in self._engines.values():
+            out.extend(engine.results)
+        return out
+
+    def cycles_us(self, cycles: int) -> float:
+        return self.config.core.cycles_to_us(cycles)

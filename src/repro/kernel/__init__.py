@@ -1,0 +1,20 @@
+"""OS-layer add-ons (paper Sec. IV).
+
+:class:`FlexKernel` is a small partitioned kernel for the
+instruction-level :class:`~repro.flexstep.soc.FlexStepSoC`.  Its context
+switch is a line-for-line rendering of the paper's Algorithm 1 in terms
+of the Table I ISA facade, and checker cores run the dedicated checker
+thread of Algorithm 2 (embodied by the
+:class:`~repro.flexstep.checker.CheckerEngine` replay loop).
+
+This layer demonstrates the properties the paper's Fig. 1(c) claims:
+verification is asynchronous (buffered segments survive a checker-side
+preemption), selective (checking can be enabled per task), and
+preemptable (a non-verification task can take over a checker core
+mid-verification and return it later).
+"""
+
+from .task import KernelTask, TaskState
+from .kernel import FlexKernel
+
+__all__ = ["KernelTask", "TaskState", "FlexKernel"]

@@ -1,0 +1,98 @@
+"""Schedulability experiment driver (paper Fig. 5).
+
+Sweeps normalised task-set utilisation (x-axis: total utilisation
+divided by m) and reports the percentage of randomly generated task
+sets each scheme's test accepts, for the paper's six configurations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .hmr import partition_hmr
+from .lockstep import partition_lockstep
+from .partition import partition_flexstep
+from .result import PartitionResult
+from .uunifast import generate_task_set
+
+#: The six (m, n, α, β) configurations of Fig. 5(a)–(f).
+FIG5_CONFIGS: dict[str, dict] = {
+    "a": {"m": 8, "n": 160, "alpha": 0.0625, "beta": 0.0625},
+    "b": {"m": 8, "n": 160, "alpha": 0.125, "beta": 0.125},
+    "c": {"m": 8, "n": 160, "alpha": 0.25, "beta": 0.25},
+    "d": {"m": 8, "n": 160, "alpha": 0.25, "beta": 0.0},
+    "e": {"m": 16, "n": 160, "alpha": 0.125, "beta": 0.125},
+    "f": {"m": 8, "n": 80, "alpha": 0.25, "beta": 0.25},
+}
+
+#: Default x-axis of Fig. 5.
+DEFAULT_UTILIZATIONS: tuple[float, ...] = tuple(
+    round(0.35 + 0.05 * i, 2) for i in range(13))  # 0.35 .. 0.95
+
+SCHEMES: dict[str, Callable[..., PartitionResult]] = {
+    "lockstep": partition_lockstep,
+    "hmr": partition_hmr,
+    "flexstep": partition_flexstep,
+}
+
+
+@dataclass
+class SchedulabilityPoint:
+    """One x-axis point: acceptance ratio per scheme."""
+
+    utilization: float                      # normalised (U_total / m)
+    ratios: dict[str, float] = field(default_factory=dict)
+
+    def percent(self, scheme: str) -> float:
+        return 100.0 * self.ratios[scheme]
+
+
+def schedulability_curve(*, m: int, n: int, alpha: float, beta: float,
+                         utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+                         sets_per_point: int = 100,
+                         seed: int = 2025,
+                         schemes: Sequence[str] = ("lockstep", "hmr",
+                                                   "flexstep"),
+                         ) -> list[SchedulabilityPoint]:
+    """Generate the Fig. 5 curve for one configuration.
+
+    Every scheme judges the *same* task sets at each utilisation point,
+    so curves are directly comparable.
+    """
+    points = []
+    for x in utilizations:
+        rng = random.Random((seed, m, n, alpha, beta, x).__hash__())
+        accepted = {s: 0 for s in schemes}
+        for _ in range(sets_per_point):
+            task_set = generate_task_set(
+                n, x * m, alpha=alpha, beta=beta, rng=rng)
+            for s in schemes:
+                if SCHEMES[s](task_set, m).success:
+                    accepted[s] += 1
+        points.append(SchedulabilityPoint(
+            utilization=x,
+            ratios={s: accepted[s] / sets_per_point for s in schemes}))
+    return points
+
+
+def weighted_schedulability(points: Sequence[SchedulabilityPoint],
+                            scheme: str) -> float:
+    """Utilisation-weighted acceptance (a standard scalar summary)."""
+    num = sum(p.utilization * p.ratios[scheme] for p in points)
+    den = sum(p.utilization for p in points)
+    return num / den if den else 0.0
+
+
+def render_curves(points: Sequence[SchedulabilityPoint],
+                  schemes: Sequence[str] = ("lockstep", "hmr", "flexstep"),
+                  ) -> str:
+    """ASCII table matching the paper's plotted series."""
+    header = "util  " + "  ".join(f"{s:>9}" for s in schemes)
+    lines = [header]
+    for p in points:
+        row = f"{p.utilization:4.2f}  " + "  ".join(
+            f"{p.percent(s):8.1f}%" for s in schemes)
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,341 @@
+"""Task-level multicore EDF schedule simulator.
+
+Used to (a) validate the analytic schedulability tests — a partition a
+test accepts should produce no deadline misses when simulated — and
+(b) reconstruct the paper's Fig. 1 motivating schedules.
+
+Supported semantics per scheme:
+
+* ``flexstep`` — preemptive partitioned EDF.  A verification task's
+  original job runs against its virtual deadline; each check job runs
+  on its own core with the real deadline and is released either when
+  the original completes (default, the practical behaviour) or at the
+  virtual deadline (the analysis' worst case).
+* ``lockstep`` — preemptive partitioned EDF on group main cores only
+  (checkers shadow the main cycle-by-cycle and need no scheduling).
+* ``hmr`` — verification jobs are non-preemptable *gang* jobs occupying
+  the main and checker core(s) simultaneously; everything else is
+  preemptive EDF.
+
+The simulator is event-driven over continuous time and deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..errors import SchedulerError
+from ..sim.trace import TraceRecorder
+from .model import RTTask, TaskSet
+from .result import Assignment, PartitionResult, Role
+
+_EPS = 1e-9
+
+
+@dataclass
+class SimJob:
+    """One job instance in the schedule simulation."""
+
+    job_id: int
+    task: RTTask
+    role: Role
+    cores: tuple[int, ...]
+    release: float
+    deadline: float
+    wcet: float
+    preemptable: bool = True
+    remaining: float = field(init=False)
+    started: bool = False
+    finish_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.remaining = self.wcet
+
+    @property
+    def name(self) -> str:
+        suffix = {Role.ORIGINAL: "", Role.CHECK: "'", Role.CHECK2: "''"}
+        return f"t{self.task.task_id}{suffix[self.role]}"
+
+    @property
+    def missed(self) -> bool:
+        return (self.finish_time is None
+                or self.finish_time > self.deadline + 1e-6)
+
+
+@dataclass
+class SimOutcome:
+    """Result of one simulated horizon."""
+
+    jobs_released: int
+    jobs_finished: int
+    deadline_misses: int
+    missed_jobs: list[SimJob] = field(default_factory=list)
+
+    @property
+    def schedulable(self) -> bool:
+        return self.deadline_misses == 0
+
+
+class EdfSimulator:
+    """Event-driven preemptive EDF with optional gang/non-preemptive jobs."""
+
+    def __init__(self, num_cores: int, *,
+                 trace: Optional[TraceRecorder] = None):
+        self.num_cores = num_cores
+        self.trace = trace
+        self.now = 0.0
+        self._events: list[tuple[float, int, int, str, object]] = []
+        self._seq = itertools.count()
+        self._job_ids = itertools.count()
+        self._ready: list[SimJob] = []
+        self._running: dict[int, Optional[SimJob]] = {
+            k: None for k in range(num_cores)}
+        self._run_since: dict[int, float] = {}
+        self._finish_epoch: dict[int, int] = {}
+        self._finished: list[SimJob] = []
+        self._released_count = 0
+        #: Pending check releases keyed by the original job id.
+        self._checks_on_completion: dict[int, list[SimJob]] = {}
+
+    # ------------------------------------------------------------------
+    # job submission
+    # ------------------------------------------------------------------
+
+    def submit(self, job: SimJob) -> SimJob:
+        """Schedule a release event for ``job``."""
+        self._push(job.release, 0, "release", job)
+        return job
+
+    def make_job(self, task: RTTask, role: Role, cores: Sequence[int],
+                 release: float, deadline: float, *,
+                 preemptable: bool = True) -> SimJob:
+        return SimJob(job_id=next(self._job_ids), task=task, role=role,
+                      cores=tuple(cores), release=release,
+                      deadline=deadline, wcet=task.wcet,
+                      preemptable=preemptable)
+
+    def chain_checks(self, original: SimJob,
+                     checks: Iterable[SimJob]) -> None:
+        """Release ``checks`` when ``original`` completes (their stored
+        release time acts as an earliest-release lower bound)."""
+        self._checks_on_completion.setdefault(
+            original.job_id, []).extend(checks)
+
+    # ------------------------------------------------------------------
+    # engine
+    # ------------------------------------------------------------------
+
+    def _push(self, time: float, prio: int, kind: str, payload) -> None:
+        heapq.heappush(self._events,
+                       (time, prio, next(self._seq), kind, payload))
+
+    def run(self, horizon: float) -> SimOutcome:
+        """Process events up to ``horizon`` and summarise misses."""
+        while self._events and self._events[0][0] <= horizon + _EPS:
+            time, _prio, _seq, kind, payload = heapq.heappop(self._events)
+            self.now = time
+            if kind == "release":
+                job = payload  # type: ignore[assignment]
+                self._ready.append(job)
+                self._released_count += 1
+                if self.trace:
+                    self.trace.record(time, "release", job.name)
+            elif kind == "finish":
+                job, epoch = payload  # type: ignore[misc]
+                if self._finish_epoch.get(job.job_id) != epoch:
+                    continue  # stale finish (job was preempted)
+                self._complete(job)
+            self._reschedule()
+        # Account for still-running work at the horizon.
+        return self._outcome(horizon)
+
+    def _complete(self, job: SimJob) -> None:
+        self._advance_running(self.now)
+        if job.remaining > 1e-7:
+            raise SchedulerError(
+                f"finish event for {job.name} with {job.remaining} left")
+        job.finish_time = self.now
+        self._finished.append(job)
+        for core in job.cores:
+            if self._running.get(core) is job:
+                self._running[core] = None
+        if self.trace:
+            self.trace.record(self.now, "finish", job.name,
+                              core=job.cores[0])
+        for check in self._checks_on_completion.pop(job.job_id, ()):
+            release = max(self.now, check.release)
+            check.release = release
+            self._push(release, 0, "release", check)
+
+    def _advance_running(self, time: float) -> None:
+        """Charge elapsed time against every running job."""
+        seen: set[int] = set()
+        for core, job in self._running.items():
+            if job is None or job.job_id in seen:
+                continue
+            seen.add(job.job_id)
+            elapsed = time - self._run_since[job.job_id]
+            if elapsed > _EPS:
+                job.remaining = max(0.0, job.remaining - elapsed)
+            self._run_since[job.job_id] = time
+
+    def _reschedule(self) -> None:
+        self._advance_running(self.now)
+        # Live jobs: everything released, unfinished, with work left.
+        live: dict[int, SimJob] = {}
+        for job in self._ready:
+            if job.remaining > _EPS and job.finish_time is None:
+                live[job.job_id] = job
+        for job in self._running.values():
+            if job is not None and job.remaining > _EPS:
+                live[job.job_id] = job
+
+        # Desired assignment: running non-preemptable jobs keep their
+        # cores; the rest is greedy global EDF over fixed core sets.
+        assignment: dict[int, SimJob] = {}
+        assigned: set[int] = set()
+        for core, job in self._running.items():
+            if job is not None and not job.preemptable \
+                    and job.remaining > _EPS:
+                assignment[core] = job
+                assigned.add(job.job_id)
+        for job in sorted(live.values(),
+                          key=lambda j: (j.deadline, j.job_id)):
+            if job.job_id in assigned:
+                continue
+            if all(core not in assignment for core in job.cores):
+                for core in job.cores:
+                    assignment[core] = job
+                assigned.add(job.job_id)
+
+        # Preemptions: a previously running job that lost a core.
+        preempted: set[int] = set()
+        for core, old in self._running.items():
+            new = assignment.get(core)
+            if (old is not None and old is not new
+                    and old.remaining > _EPS
+                    and old.job_id not in preempted):
+                preempted.add(old.job_id)
+                # invalidate its in-flight finish event
+                self._finish_epoch[old.job_id] = \
+                    self._finish_epoch.get(old.job_id, 0) + 1
+                if self.trace:
+                    self.trace.record(self.now, "preempt", old.name,
+                                      core=core)
+
+        # Starts/resumes: schedule finish events for newly placed jobs.
+        handled: set[int] = set()
+        for core in range(self.num_cores):
+            job = assignment.get(core)
+            if job is None or job.job_id in handled:
+                continue
+            handled.add(job.job_id)
+            was_running = all(self._running.get(c) is job
+                              for c in job.cores) \
+                and job.job_id not in preempted
+            self._run_since[job.job_id] = self.now
+            if not was_running:
+                job.started = True
+                epoch = self._finish_epoch.get(job.job_id, 0) + 1
+                self._finish_epoch[job.job_id] = epoch
+                self._push(self.now + job.remaining, 1, "finish",
+                           (job, epoch))
+                if self.trace:
+                    self.trace.record(
+                        self.now, "run", job.name, core=job.cores[0],
+                        data=(self.now + job.remaining,))
+
+        self._ready = [j for j in live.values()]
+        self._running = {k: assignment.get(k)
+                         for k in range(self.num_cores)}
+
+    def _outcome(self, horizon: float) -> SimOutcome:
+        missed = [j for j in self._finished if j.missed]
+        # Jobs never finished whose deadline fell inside the horizon:
+        unfinished = [j for j in self._ready
+                      if j.deadline <= horizon and j.remaining > _EPS]
+        missed.extend(unfinished)
+        return SimOutcome(
+            jobs_released=self._released_count,
+            jobs_finished=len(self._finished),
+            deadline_misses=len(missed),
+            missed_jobs=missed)
+
+
+def _periodic_releases(horizon: float, period: float) -> list[float]:
+    releases = []
+    t = 0.0
+    while t < horizon - _EPS:
+        releases.append(t)
+        t += period
+    return releases
+
+
+def simulate_partition(result: PartitionResult, task_set: TaskSet, *,
+                       horizon: Optional[float] = None,
+                       release_checks: str = "completion",
+                       trace: Optional[TraceRecorder] = None,
+                       ) -> SimOutcome:
+    """Simulate a partition under its scheme's runtime semantics.
+
+    ``release_checks``: ``"completion"`` (checks start when the original
+    finishes) or ``"virtual"`` (the analysis' worst case: checks wait
+    for the virtual deadline).
+    """
+    if release_checks not in ("completion", "virtual"):
+        raise ValueError(f"bad release_checks {release_checks!r}")
+    if horizon is None:
+        horizon = 3.0 * max((t.period for t in task_set), default=1.0)
+    sim = EdfSimulator(result.num_cores, trace=trace)
+
+    by_task: dict[int, dict[Role, Assignment]] = {}
+    for a in result.assignments:
+        by_task.setdefault(a.task.task_id, {})[a.role] = a
+
+    for task in task_set:
+        roles = by_task.get(task.task_id)
+        if roles is None:
+            continue  # task not placed (failed partition); skip
+        for release in _periodic_releases(horizon, task.period):
+            _submit_job(sim, result.scheme, task, roles, release,
+                        release_checks)
+    return sim.run(horizon)
+
+
+def _submit_job(sim: EdfSimulator, scheme: str, task: RTTask,
+                roles: dict[Role, Assignment], release: float,
+                release_checks: str) -> None:
+    deadline = release + task.deadline
+    if scheme == "lockstep" or not task.is_verification:
+        core = roles[Role.ORIGINAL].core
+        sim.submit(sim.make_job(task, Role.ORIGINAL, (core,),
+                                release, deadline))
+        return
+    if scheme == "hmr":
+        cores = tuple(roles[r].core for r in
+                      (Role.ORIGINAL, Role.CHECK, Role.CHECK2)
+                      if r in roles)
+        sim.submit(sim.make_job(task, Role.ORIGINAL, cores, release,
+                                deadline, preemptable=False))
+        return
+    # flexstep
+    virtual = release + task.virtual_deadline
+    original = sim.make_job(task, Role.ORIGINAL,
+                            (roles[Role.ORIGINAL].core,),
+                            release, virtual)
+    sim.submit(original)
+    checks = []
+    for role in (Role.CHECK, Role.CHECK2):
+        if role not in roles:
+            continue
+        earliest = release if release_checks == "completion" else virtual
+        checks.append(sim.make_job(task, role, (roles[role].core,),
+                                   earliest, deadline))
+    if release_checks == "completion":
+        sim.chain_checks(original, checks)
+    else:
+        for check in checks:
+            sim.submit(check)

@@ -1,0 +1,83 @@
+"""Task-set generation with UUnifast (Bini & Buttazzo, paper [47]).
+
+UUnifast draws n per-task utilisations summing exactly to U, uniformly
+over the valid simplex.  Periods are log-uniform over a configurable
+range (the classic choice), WCETs follow, and reliability classes are
+assigned to the requested fractions α (double-check) and β
+(triple-check) of tasks, uniformly at random.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from ..errors import TaskModelError
+from .model import RTTask, TaskClass, TaskSet
+
+
+def uunifast(n: int, total_utilization: float,
+             rng: random.Random) -> list[float]:
+    """Draw ``n`` utilisations summing to ``total_utilization``."""
+    if n <= 0:
+        raise TaskModelError("n must be positive")
+    if total_utilization <= 0:
+        raise TaskModelError("total utilisation must be positive")
+    utils = []
+    remaining = total_utilization
+    for i in range(1, n):
+        next_remaining = remaining * rng.random() ** (1.0 / (n - i))
+        utils.append(remaining - next_remaining)
+        remaining = next_remaining
+    utils.append(remaining)
+    return utils
+
+
+def generate_task_set(n: int, total_utilization: float, *,
+                      alpha: float = 0.0, beta: float = 0.0,
+                      period_range: tuple[float, float] = (10.0, 1000.0),
+                      rng: Optional[random.Random] = None,
+                      max_task_utilization: float = 1.0) -> TaskSet:
+    """Generate one task set for the Fig. 5 experiments.
+
+    ``alpha``/``beta`` are the fractions of tasks in T_V2/T_V3.  Draws
+    are rejected and retried while any single task's utilisation exceeds
+    ``max_task_utilization`` (UUnifast guarantees the sum, not the
+    parts).
+    """
+    if alpha < 0 or beta < 0 or alpha + beta > 1:
+        raise TaskModelError(f"bad class fractions α={alpha}, β={beta}")
+    rng = rng or random.Random()
+    lo, hi = period_range
+    if lo <= 0 or hi <= lo:
+        raise TaskModelError(f"bad period range {period_range}")
+
+    for _ in range(1000):
+        utils = uunifast(n, total_utilization, rng)
+        if max(utils) <= max_task_utilization:
+            break
+    else:
+        raise TaskModelError(
+            f"could not draw {n} utilisations summing to "
+            f"{total_utilization} with max {max_task_utilization}")
+
+    log_lo, log_hi = math.log(lo), math.log(hi)
+    tasks = []
+    for i, u in enumerate(utils):
+        period = math.exp(rng.uniform(log_lo, log_hi))
+        wcet = max(u * period, 1e-9)
+        tasks.append(RTTask(task_id=i, wcet=wcet, period=period))
+
+    n_v2 = round(alpha * n)
+    n_v3 = round(beta * n)
+    chosen = rng.sample(range(n), n_v2 + n_v3)
+    v2_ids = set(chosen[:n_v2])
+    v3_ids = set(chosen[n_v2:])
+    tasks = [
+        t.with_class(TaskClass.TV2 if t.task_id in v2_ids
+                     else TaskClass.TV3 if t.task_id in v3_ids
+                     else TaskClass.TN)
+        for t in tasks
+    ]
+    return TaskSet(tasks)

@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate used across the library."""
+
+from .engine import Event, EventQueue, Simulator, Process
+from .stats import (
+    Histogram,
+    OnlineStats,
+    geomean,
+    percentile,
+    summarize,
+)
+from .trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Process",
+    "Histogram",
+    "OnlineStats",
+    "geomean",
+    "percentile",
+    "summarize",
+    "TraceEvent",
+    "TraceRecorder",
+]

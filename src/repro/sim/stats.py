@@ -1,0 +1,182 @@
+"""Statistics helpers shared by the analysis and benchmark layers.
+
+Includes the geometric mean (the paper reports geomean slowdowns),
+streaming moments, percentiles and a fixed-bin histogram used for the
+Fig. 7 detection-latency density plot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    Raises ValueError on an empty sequence or non-positive entries, since
+    a silent 0/NaN would corrupt slowdown summaries.
+    """
+    total = 0.0
+    count = 0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+        total += math.log(v)
+        count += 1
+    if count == 0:
+        raise ValueError("geomean of empty sequence")
+    return math.exp(total / count)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * q / 100.0
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return data[lo]
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+class OnlineStats:
+    """Streaming count/mean/variance/min/max (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    @property
+    def variance(self) -> float:
+        """Population variance; 0 for fewer than two samples."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Combine two streams into a new OnlineStats (Chan's method)."""
+        merged = OnlineStats()
+        if self.count == 0:
+            merged.count, merged.mean, merged._m2 = (
+                other.count, other.mean, other._m2)
+            merged.min, merged.max = other.min, other.max
+            return merged
+        if other.count == 0:
+            merged.count, merged.mean, merged._m2 = (
+                self.count, self.mean, self._m2)
+            merged.min, merged.max = self.min, self.max
+            return merged
+        n = self.count + other.count
+        delta = other.mean - self.mean
+        merged.count = n
+        merged.mean = self.mean + delta * other.count / n
+        merged._m2 = (self._m2 + other._m2
+                      + delta * delta * self.count * other.count / n)
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
+
+@dataclass
+class HistogramBin:
+    """One histogram bin: [lo, hi) with its sample count."""
+
+    lo: float
+    hi: float
+    count: int
+
+    @property
+    def mid(self) -> float:
+        return 0.5 * (self.lo + self.hi)
+
+
+class Histogram:
+    """Fixed-width histogram over [lo, hi]; out-of-range values clamp to
+    the edge bins (detection-latency tails stay visible)."""
+
+    def __init__(self, lo: float, hi: float, bins: int):
+        if hi <= lo:
+            raise ValueError(f"hi {hi} must exceed lo {lo}")
+        if bins <= 0:
+            raise ValueError("bins must be positive")
+        self.lo = lo
+        self.hi = hi
+        self.counts = [0] * bins
+        self.total = 0
+        self._width = (hi - lo) / bins
+
+    def add(self, value: float) -> None:
+        idx = int((value - self.lo) / self._width)
+        idx = max(0, min(len(self.counts) - 1, idx))
+        self.counts[idx] += 1
+        self.total += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    def bins(self) -> list[HistogramBin]:
+        return [
+            HistogramBin(self.lo + i * self._width,
+                         self.lo + (i + 1) * self._width, c)
+            for i, c in enumerate(self.counts)
+        ]
+
+    def density(self) -> list[float]:
+        """Per-bin probability density (integrates to ~1)."""
+        if self.total == 0:
+            return [0.0] * len(self.counts)
+        return [c / (self.total * self._width) for c in self.counts]
+
+    def mode_bin(self) -> HistogramBin:
+        """The bin with the largest count."""
+        if self.total == 0:
+            raise ValueError("mode of empty histogram")
+        idx = max(range(len(self.counts)), key=self.counts.__getitem__)
+        return self.bins()[idx]
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """A compact summary dict used by benchmark reports."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    stats = OnlineStats()
+    stats.extend(values)
+    return {
+        "count": float(stats.count),
+        "mean": stats.mean,
+        "stddev": stats.stddev,
+        "min": stats.min,
+        "p50": percentile(values, 50),
+        "p90": percentile(values, 90),
+        "p99": percentile(values, 99),
+        "max": stats.max,
+    }

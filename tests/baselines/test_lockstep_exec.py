@@ -1,0 +1,77 @@
+"""Cycle-level DCLS/TCLS execution model tests."""
+
+import pytest
+
+from repro.baselines import LockStepGroup, LockStepMismatch
+from repro.errors import VerificationMismatch
+
+from ..conftest import make_sum_program
+
+
+class TestCleanLockstep:
+    def test_identical_cores_never_mismatch(self):
+        group = LockStepGroup(make_sum_program(n=300))
+        run = group.run()
+        assert run.mismatches == 0
+        assert run.first_mismatch_instruction is None
+        assert run.instructions > 300 * 5
+
+    def test_tcls_mode(self):
+        group = LockStepGroup(make_sum_program(n=100), checkers=2)
+        assert len(group.checker_cores) == 2
+        assert group.run().mismatches == 0
+
+    def test_invalid_checker_count(self):
+        with pytest.raises(ValueError):
+            LockStepGroup(make_sum_program(), checkers=3)
+
+    def test_slowdown_is_one(self):
+        run = LockStepGroup(make_sum_program(n=50)).run()
+        assert run.slowdown == 1.0
+
+    def test_checker_memory_isolated(self):
+        group = LockStepGroup(make_sum_program(n=10))
+        group.run()
+        # checkers wrote to their own shadow memories, not the main one
+        assert group.memories[0].read_word(0x2000) \
+            == group.memories[1].read_word(0x2000) == 70
+
+    def test_watchdog(self):
+        from repro.isa import assemble
+        group = LockStepGroup(assemble("loop:\nj loop"))
+        with pytest.raises(VerificationMismatch):
+            group.run(max_instructions=50)
+
+
+class TestTamperedLockstep:
+    def test_register_tamper_detected_immediately(self):
+        group = LockStepGroup(make_sum_program(n=200))
+
+        def tamper(core, instruction_index):
+            if instruction_index == 100:
+                core.regs.write(2, core.regs.read(2) ^ 1)
+
+        run = group.run(tamper=tamper)
+        assert run.mismatches > 0
+        # detection within a couple of commits: per-cycle checking
+        assert run.first_mismatch_instruction <= 110
+
+    def test_strict_mode_raises(self):
+        group = LockStepGroup(make_sum_program(n=200))
+
+        def tamper(core, idx):
+            if idx == 50:
+                core.regs.write(2, 999)
+
+        with pytest.raises(LockStepMismatch):
+            group.run(tamper=tamper, strict=True)
+
+    def test_pc_tamper_detected(self):
+        group = LockStepGroup(make_sum_program(n=200))
+
+        def tamper(core, idx):
+            if idx == 60:
+                core.pc += 4
+
+        run = group.run(tamper=tamper)
+        assert run.first_mismatch_instruction is not None

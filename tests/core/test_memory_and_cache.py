@@ -1,0 +1,176 @@
+"""Memory, port and cache-model tests."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.core import Cache, CachedPort, DirectPort, MainMemory, \
+    MemoryHierarchy
+from repro.errors import ConfigurationError, MemoryAccessError
+
+
+class TestMainMemory:
+    def test_default_zero(self):
+        assert MainMemory().read_word(0x100) == 0
+
+    def test_write_read(self):
+        mem = MainMemory()
+        mem.write_word(0x40, 77)
+        assert mem.read_word(0x40) == 77
+
+    def test_misaligned_rejected(self):
+        mem = MainMemory()
+        with pytest.raises(MemoryAccessError):
+            mem.read_word(0x41)
+        with pytest.raises(MemoryAccessError):
+            mem.write_word(0x42, 1)
+
+    def test_out_of_range_rejected(self):
+        mem = MainMemory(size_bytes=0x1000)
+        with pytest.raises(MemoryAccessError):
+            mem.read_word(0x1000)
+        with pytest.raises(MemoryAccessError):
+            mem.read_word(-8)
+
+    def test_values_wrap_64bit(self):
+        mem = MainMemory()
+        mem.write_word(0, -1)
+        assert mem.read_word(0) == (1 << 64) - 1
+
+    def test_copy_is_independent(self):
+        mem = MainMemory()
+        mem.write_word(0, 1)
+        dup = mem.copy()
+        dup.write_word(0, 2)
+        assert mem.read_word(0) == 1
+
+    def test_load_segment(self):
+        mem = MainMemory()
+        mem.load_segment({0x10: 3, 0x18: 4})
+        assert mem.read_word(0x18) == 4
+        mem.load_segment(None)  # no-op
+
+
+class TestCacheConfig:
+    def test_sets_computed(self):
+        cfg = CacheConfig(size_bytes=16 * 1024, ways=4, line_bytes=64)
+        assert cfg.sets == 64
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=1000, ways=3, line_bytes=64)
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=0, ways=1)
+
+
+class TestCache:
+    def _tiny(self):
+        # 2 sets, 2 ways, 64 B lines
+        return Cache(CacheConfig(size_bytes=256, ways=2, line_bytes=64))
+
+    def test_miss_then_hit(self):
+        cache = self._tiny()
+        assert cache.access(0, False) is False
+        assert cache.access(0, False) is True
+        assert cache.access(8, False) is True  # same line
+
+    def test_lru_eviction(self):
+        cache = self._tiny()
+        # set 0 holds lines with even line index (line = addr>>6)
+        cache.access(0x000, False)   # line 0 -> set 0
+        cache.access(0x080, False)   # line 2 -> set 0
+        cache.access(0x100, False)   # line 4 -> set 0, evicts line 0
+        assert cache.stats.evictions == 1
+        assert cache.access(0x000, False) is False  # was evicted
+
+    def test_lru_refresh_on_hit(self):
+        cache = self._tiny()
+        cache.access(0x000, False)
+        cache.access(0x080, False)
+        cache.access(0x000, False)        # refresh line 0
+        cache.access(0x100, False)        # should evict line 2 now
+        assert cache.access(0x000, False) is True
+
+    def test_dirty_writeback_counted(self):
+        cache = self._tiny()
+        cache.access(0x000, True)    # dirty
+        cache.access(0x080, False)
+        cache.access(0x100, False)   # evicts dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_contains_does_not_mutate(self):
+        cache = self._tiny()
+        cache.access(0, False)
+        hits_before = cache.stats.hits
+        assert cache.contains(0)
+        assert not cache.contains(0x500)
+        assert cache.stats.hits == hits_before
+
+    def test_invalidate_all(self):
+        cache = self._tiny()
+        cache.access(0, False)
+        cache.invalidate_all()
+        assert not cache.contains(0)
+
+    def test_hit_rate(self):
+        cache = self._tiny()
+        cache.access(0, False)
+        cache.access(0, False)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestHierarchy:
+    def _setup(self):
+        l1 = Cache(CacheConfig(size_bytes=256, ways=2, line_bytes=64,
+                               latency_cycles=2))
+        l2 = Cache(CacheConfig(size_bytes=1024, ways=4, line_bytes=64,
+                               latency_cycles=40))
+        hier = MemoryHierarchy(l2, l2_latency=40, dram_latency=120)
+        return l1, l2, hier
+
+    def test_l1_hit_latency(self):
+        l1, _l2, hier = self._setup()
+        hier.data_access(l1, 0, False)          # cold miss
+        assert hier.data_access(l1, 0, False) == 2
+
+    def test_l1_miss_l2_hit_latency(self):
+        l1, l2, hier = self._setup()
+        l2.access(0x2000, False)                # warm L2
+        assert hier.data_access(l1, 0x2000, False) == 2 + 40
+
+    def test_full_miss_latency(self):
+        l1, _l2, hier = self._setup()
+        assert hier.data_access(l1, 0x4000, False) == 2 + 40 + 120
+
+    def test_fetch_hit_is_free(self):
+        l1, _l2, hier = self._setup()
+        hier.fetch_access(l1, 0)
+        assert hier.fetch_access(l1, 0) == 0
+
+    def test_average_latency_tracked(self):
+        l1, _l2, hier = self._setup()
+        hier.data_access(l1, 0, False)
+        hier.data_access(l1, 0, False)
+        assert hier.stats.accesses == 2
+        assert hier.stats.average_latency > 2
+
+
+class TestPorts:
+    def test_direct_port(self):
+        mem = MainMemory()
+        port = DirectPort(mem, latency=3)
+        assert port.write(0x10, 9) == 3
+        assert port.read(0x10) == (9, 3)
+
+    def test_cached_port_returns_data_and_latency(self):
+        mem = MainMemory()
+        mem.write_word(0x20, 5)
+        l1 = Cache(CacheConfig(size_bytes=256, ways=2, line_bytes=64,
+                               latency_cycles=2))
+        l2 = Cache(CacheConfig(size_bytes=1024, ways=4, line_bytes=64,
+                               latency_cycles=40))
+        hier = MemoryHierarchy(l2, l2_latency=40, dram_latency=120)
+        port = CachedPort(mem, hier, l1)
+        value, cycles = port.read(0x20)
+        assert value == 5 and cycles == 162
+        value, cycles = port.read(0x20)
+        assert cycles == 2

@@ -1,0 +1,134 @@
+"""Register file, CSR file and snapshot tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    ArchSnapshot,
+    CSRFile,
+    CSR_CYCLE,
+    CSR_MEPC,
+    CSR_MSCRATCH,
+    Privilege,
+    RegisterFile,
+)
+from repro.errors import PrivilegeError
+from repro.isa.instructions import REG_COUNT
+
+
+class TestRegisterFile:
+    def test_x0_hardwired_zero(self):
+        regs = RegisterFile()
+        regs.write(0, 123)
+        assert regs.read(0) == 0
+
+    def test_write_read(self):
+        regs = RegisterFile()
+        regs.write(5, 99)
+        assert regs.read(5) == 99
+
+    def test_values_masked_to_64bit(self):
+        regs = RegisterFile()
+        regs.write(1, 1 << 64)
+        assert regs.read(1) == 0
+        regs.write(1, -1)
+        assert regs.read(1) == (1 << 64) - 1
+
+    def test_snapshot_is_immutable_copy(self):
+        regs = RegisterFile()
+        regs.write(3, 7)
+        snap = regs.snapshot()
+        regs.write(3, 8)
+        assert snap[3] == 7
+        assert len(snap) == REG_COUNT
+
+    def test_load_roundtrip(self):
+        regs = RegisterFile()
+        for i in range(1, REG_COUNT):
+            regs.write(i, i * 11)
+        other = RegisterFile()
+        other.load(regs.snapshot())
+        assert other == regs
+
+    def test_load_forces_x0_zero(self):
+        regs = RegisterFile()
+        values = [5] * REG_COUNT
+        regs.load(values)
+        assert regs.read(0) == 0
+
+    def test_load_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFile().load([0] * 5)
+
+    def test_init_with_values(self):
+        regs = RegisterFile([0] + [2] * (REG_COUNT - 1))
+        assert regs.read(1) == 2
+
+
+class TestCSRFile:
+    def test_kernel_can_write(self):
+        csrs = CSRFile()
+        csrs.write(CSR_MEPC, 0x100, Privilege.KERNEL)
+        assert csrs.read(CSR_MEPC, Privilege.KERNEL) == 0x100
+
+    def test_user_write_rejected(self):
+        with pytest.raises(PrivilegeError):
+            CSRFile().write(CSR_MEPC, 1, Privilege.USER)
+
+    def test_user_read_of_machine_csr_rejected(self):
+        with pytest.raises(PrivilegeError):
+            CSRFile().read(CSR_MEPC, Privilege.USER)
+
+    def test_user_can_read_cycle(self):
+        assert CSRFile().read(CSR_CYCLE, Privilege.USER) == 0
+
+    def test_raw_access_bypasses_privilege(self):
+        csrs = CSRFile()
+        csrs.raw_write(CSR_MSCRATCH, 5)
+        assert csrs.raw_read(CSR_MSCRATCH) == 5
+
+    def test_unknown_csr_reads_zero(self):
+        assert CSRFile().raw_read(0x7FF) == 0
+
+
+class TestArchSnapshot:
+    def _snap(self, npc=0x40, seed=1):
+        regs = tuple((seed * i) & ((1 << 64) - 1)
+                     for i in range(REG_COUNT))
+        return ArchSnapshot(npc=npc, regs=regs, csrs=(7,))
+
+    def test_wrong_reg_count_rejected(self):
+        with pytest.raises(ValueError):
+            ArchSnapshot(npc=0, regs=(1, 2, 3))
+
+    def test_words_roundtrip(self):
+        snap = self._snap()
+        rebuilt = ArchSnapshot.from_words(snap.words(), num_csrs=1)
+        assert rebuilt == snap
+
+    def test_size_bytes(self):
+        snap = self._snap()
+        # npc + 32 regs + 1 csr = 34 words
+        assert snap.size_bytes == 34 * 8
+
+    def test_two_snapshots_fit_ass_budget(self):
+        from repro.config import FlexStepConfig
+        assert 2 * self._snap().size_bytes <= FlexStepConfig().ass_bytes + 30
+
+    def test_diff_empty_for_equal(self):
+        assert self._snap().diff(self._snap()) == []
+
+    def test_diff_reports_npc_and_regs(self):
+        a = self._snap(npc=0x40)
+        b = self._snap(npc=0x44)
+        assert any("npc" in d for d in a.diff(b))
+        c = self._snap(seed=2)
+        assert any(d.startswith("x") for d in a.diff(c))
+
+    @given(st.integers(0, REG_COUNT - 1), st.integers(0, 63))
+    def test_diff_detects_any_single_bit_flip(self, reg, bit):
+        a = self._snap()
+        regs = list(a.regs)
+        regs[reg] ^= 1 << bit
+        b = ArchSnapshot(npc=a.npc, regs=tuple(regs), csrs=a.csrs)
+        assert a.diff(b), "single-bit register corruption must be visible"

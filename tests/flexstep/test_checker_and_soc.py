@@ -1,0 +1,212 @@
+"""Checker replay engine + SoC co-simulation tests."""
+
+import pytest
+
+from repro.config import SoCConfig
+from repro.errors import ConfigurationError, VerificationMismatch
+from repro.flexstep import CheckerState, CoreAttr, FlexStepSoC
+from repro.isa import assemble
+
+from ..conftest import make_ecall_program, make_sum_program, \
+    make_verified_soc
+
+
+class TestCleanReplay:
+    def test_all_segments_verified(self):
+        soc = make_verified_soc(make_sum_program(n=3000))
+        stats = soc.run()
+        assert stats.segments_failed == 0
+        assert stats.segments_checked >= 3
+        assert all(r.ok for r in soc.all_results())
+
+    def test_replay_covers_all_user_instructions(self):
+        soc = make_verified_soc(make_sum_program(n=500))
+        soc.run()
+        replayed = sum(r.count for r in soc.all_results())
+        # everything except the final halt is replayed
+        assert replayed == soc.cores[0].stats.user_instructions - 1
+
+    def test_memory_entries_verified(self):
+        soc = make_verified_soc(make_sum_program(n=200))
+        soc.run()
+        engine = soc.engine_of(1)
+        # 2 entries per iteration (ld + sd)
+        assert engine.stats.verified_entries >= 400
+
+    def test_checker_does_not_touch_memory(self):
+        program = make_sum_program(n=50)
+        soc = make_verified_soc(program)
+        soc.run()
+        # the checker's data port was swapped to the replay port; its
+        # original cached port (saved in the engine) saw no accesses
+        saved_port = soc.engine_of(1)._saved_port
+        assert saved_port is not None
+        assert saved_port.l1d.stats.accesses == 0
+
+    def test_ecalls_replayed_correctly(self):
+        soc = make_verified_soc(make_ecall_program(n=15))
+        stats = soc.run()
+        assert stats.segments_failed == 0
+        assert soc.memory.read_word(0x800) == 15   # kernel counter
+
+    def test_atomics_replayed(self):
+        program = assemble("""
+            li x1, 60
+            li x10, 0x300
+        loop:
+            amoadd x2, x1, (x10)
+            lr x3, (x10)
+            sc x4, x3, (x10)
+            addi x1, x1, -1
+            bnez x1, loop
+            halt
+        """)
+        soc = make_verified_soc(program)
+        stats = soc.run()
+        assert stats.segments_failed == 0
+        assert soc.engine_of(1).stats.verified_entries >= 60 * 4
+
+    def test_triple_mode_both_checkers_verify(self):
+        soc = make_verified_soc(make_sum_program(n=800), checkers=2)
+        stats = soc.run()
+        assert stats.segments_failed == 0
+        for cid in (1, 2):
+            assert soc.engine_of(cid).stats.segments_checked >= 1
+
+    def test_dual_slowdown_small(self):
+        program = make_sum_program(n=4000)
+        base = make_verified_soc(program)  # reuse builder for cores
+        vanilla = FlexStepSoC(SoCConfig(num_cores=1))
+        vanilla.load_program(0, program)
+        base_cycles = vanilla.run().main_cycles[0]
+        soc = make_verified_soc(program)
+        flex_cycles = soc.run().main_cycles[0]
+        slowdown = flex_cycles / base_cycles
+        assert 1.0 <= slowdown < 1.05
+
+
+class TestCheckerControl:
+    def test_start_stop_restores_context(self):
+        soc = make_verified_soc(make_sum_program(n=50))
+        engine = soc.engine_of(1)
+        checker = soc.cores[1]
+        engine.stop_checking()
+        checker.regs.write(9, 1234)     # OS-context state
+        engine.start_checking()         # C.record saves it to the ASS
+        checker.regs.write(9, 0)        # replay clobbers registers...
+        engine.stop_checking()          # ...and C.check_state(idle)
+        assert checker.regs.read(9) == 1234
+        assert engine.state is CheckerState.IDLE
+
+    def test_preempt_mid_replay_and_resume(self):
+        program = make_sum_program(n=2000)
+        soc = make_verified_soc(program, dma_spill_entries=8192)
+        engine = soc.engine_of(1)
+        # advance until the checker is mid-replay
+        for _ in range(40000):
+            soc._step_main(0)
+            engine.step()
+            if engine.state is CheckerState.REPLAY \
+                    and engine._executed > 3:
+                break
+        else:
+            pytest.fail("checker never entered replay")
+        executed_before = engine._executed
+        engine.stop_checking()                 # preemption
+        # checker core runs something else; its state is the OS context
+        assert engine.state is CheckerState.IDLE
+        engine.start_checking()                # resume
+        assert engine.state is CheckerState.REPLAY
+        assert engine._executed == executed_before
+        # finish the whole run cleanly
+        soc.run()
+        assert all(r.ok for r in soc.all_results())
+
+    def test_buffering_survives_checker_pause(self):
+        """Fig. 1(c): verification is asynchronous — while the checker
+        is away, segments accumulate in the DBC and are verified later."""
+        program = make_sum_program(n=1000)
+        soc = make_verified_soc(program, dma_spill_entries=16384)
+        engine = soc.engine_of(1)
+        engine.stop_checking()
+        # main core runs to completion with the checker offline
+        while not soc.cores[0].halted:
+            soc._step_main(0)
+        soc.adapter_of(0).disable()
+        soc.adapter_of(0).try_flush()
+        channel = soc.interconnect.channels_of(0)[0]
+        assert len(channel) > 0
+        engine.start_checking()
+        soc.run()
+        assert all(r.ok for r in soc.all_results())
+        assert soc.engine_of(1).stats.segments_checked >= 1
+
+
+class TestControlISA:
+    def test_configure_sets_attributes(self):
+        soc = FlexStepSoC(SoCConfig(num_cores=4))
+        soc.control.configure([0, 2], [1, 3])
+        assert soc.control.attr_of(0) is CoreAttr.MAIN
+        assert soc.control.attr_of(1) is CoreAttr.CHECKER
+        assert soc.control.ids_contain(CoreAttr.MAIN, 2)
+        soc.control.configure([0], [1])
+        assert soc.control.attr_of(2) is CoreAttr.COMPUTE
+
+    def test_overlapping_configure_rejected(self):
+        soc = FlexStepSoC(SoCConfig(num_cores=2))
+        with pytest.raises(ConfigurationError):
+            soc.control.configure([0], [0])
+
+    def test_associate_requires_roles(self):
+        soc = FlexStepSoC(SoCConfig(num_cores=3))
+        soc.control.configure([0], [1])
+        with pytest.raises(ConfigurationError):
+            soc.control.associate(1, [0])     # checker as main
+        with pytest.raises(ConfigurationError):
+            soc.control.associate(0, [2])     # compute as checker
+
+    def test_enable_before_associate_rejected(self):
+        soc = FlexStepSoC(SoCConfig(num_cores=2))
+        soc.control.configure([0], [1])
+        with pytest.raises(RuntimeError):
+            soc.control.check_enable(0)
+
+    def test_result_reports_segments(self):
+        soc = make_verified_soc(make_sum_program(n=100))
+        soc.run()
+        results = soc.control.result(1)
+        assert results and all(r.ok for r in results)
+
+    def test_engine_requires_association(self):
+        soc = FlexStepSoC(SoCConfig(num_cores=2))
+        with pytest.raises(ConfigurationError):
+            soc.engine_of(1)
+
+
+class TestDetection:
+    """Divergence detection through real (non-injected) corruption."""
+
+    def test_store_data_divergence_detected(self):
+        soc = make_verified_soc(make_sum_program(n=400))
+        channel = soc.interconnect.channels_of(0)[0]
+        from repro.flexstep.packets import MemPacket, flip_bit_in_packet
+        state = {"done": False}
+
+        def corrupt_one_store(p):
+            if (not state["done"] and isinstance(p, MemPacket)
+                    and p.kind == "w"):
+                state["done"] = True
+                return flip_bit_in_packet(p, 1, 5)
+            return p
+
+        channel.add_push_tap(corrupt_one_store)
+        stats = soc.run()
+        assert stats.segments_failed == 1
+        failed = [r for r in soc.all_results() if not r.ok][0]
+        assert "divergence" in failed.detail
+
+    def test_fault_free_run_never_fails(self):
+        for n in (37, 256, 1111):
+            soc = make_verified_soc(make_sum_program(n=n))
+            stats = soc.run()
+            assert stats.segments_failed == 0, f"n={n}"

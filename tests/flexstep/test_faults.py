@@ -1,0 +1,146 @@
+"""Fault-injection tests (paper Sec. VI-C mechanics).
+
+Key invariant: a single bit flip in any *verified* forwarded field is
+either detected by the checker or provably masked (the corrupted word
+was dead — e.g. an SCP register that the segment overwrites before the
+ECP compares it).  The main core's own execution is never affected.
+"""
+
+import random
+
+import pytest
+
+from repro.flexstep import FaultInjector, FaultTarget
+from repro.flexstep.checker import SegmentResult
+
+from ..conftest import make_sum_program, make_verified_soc
+
+
+def run_with_faults(target, *, n=2500, seed=1, segment_interval=2,
+                    program=None):
+    soc = make_verified_soc(program or make_sum_program(n=n))
+    channel = soc.interconnect.channels_of(0)[0]
+    injector = FaultInjector(channel, target=target,
+                             segment_interval=segment_interval,
+                             rng=random.Random(seed))
+    stats = soc.run()
+    injector.resolve(soc.all_results())
+    return soc, injector, stats
+
+
+class TestTargets:
+    @pytest.mark.parametrize("target", [
+        FaultTarget.MAL_ADDR,
+        FaultTarget.MAL_DATA,
+        FaultTarget.ECP,
+        FaultTarget.IC,
+    ])
+    def test_target_always_detected(self, target):
+        _, injector, _ = run_with_faults(target)
+        assert injector.records, f"no faults injected for {target}"
+        assert injector.detection_rate == 1.0
+
+    def test_scp_faults_detected_or_masked(self):
+        soc, injector, stats = run_with_faults(FaultTarget.SCP)
+        assert injector.records
+        # An SCP flip in a register that the segment fully rewrites is
+        # architecturally masked; everything else must be caught.
+        undetected = [r for r in injector.records if not r.detected]
+        assert injector.detection_rate >= 0.5
+        # masked faults left no failed segment behind
+        failed_segments = {r.segment for r in soc.all_results()
+                           if not r.ok}
+        for rec in undetected:
+            assert rec.segment not in failed_segments
+
+    def test_any_target_mixes_types(self):
+        _, injector, _ = run_with_faults(FaultTarget.ANY, n=6000,
+                                         segment_interval=1)
+        kinds = {r.target for r in injector.records}
+        assert len(kinds) >= 2
+
+    def test_detection_rate_above_paper_floor(self):
+        """Paper: detection covers over 99.9% of injected faults; our
+        verified-field injection must detect everything non-masked."""
+        _, injector, _ = run_with_faults(FaultTarget.ANY, n=8000,
+                                         segment_interval=1, seed=3)
+        assert len(injector.records) >= 5
+        assert injector.detection_rate == 1.0
+
+
+class TestMainCoreUnaffected:
+    def test_main_result_still_correct(self):
+        soc, injector, _ = run_with_faults(FaultTarget.MAL_DATA, n=3000,
+                                           segment_interval=1)
+        # faults only corrupt the forwarded copy: result is intact
+        assert soc.memory.read_word(0x2000) == 3000 * 7
+        assert injector.records
+
+    def test_main_cycles_unchanged_by_injection(self):
+        soc_clean = make_verified_soc(make_sum_program(n=500))
+        clean = soc_clean.run().main_cycles[0]
+        soc_faulty, _, _ = run_with_faults(FaultTarget.MAL_DATA, n=500)
+        # detection may shorten checker work but main-core time is equal
+        assert soc_faulty.cores[0].stats.cycles == pytest.approx(
+            clean, rel=0.01)
+
+
+class TestLatencyAccounting:
+    def test_latencies_nonnegative_and_bounded(self):
+        soc, injector, _ = run_with_faults(FaultTarget.MAL_DATA, n=4000)
+        latencies = injector.latencies_cycles()
+        assert latencies
+        horizon = soc.cores[1].stats.cycles
+        for lat in latencies:
+            assert 0 <= lat <= horizon
+
+    def test_detect_cycle_matches_result(self):
+        soc, injector, _ = run_with_faults(FaultTarget.ECP, n=2500)
+        failed = {r.segment: r for r in soc.all_results() if not r.ok}
+        for rec in injector.records:
+            if rec.detected:
+                assert rec.detect_cycle \
+                    == failed[rec.segment].detect_cycle
+
+    def test_resolve_is_idempotent(self):
+        soc, injector, _ = run_with_faults(FaultTarget.ECP, n=2500)
+        first = [r.detected for r in injector.records]
+        injector.resolve(soc.all_results())
+        assert [r.detected for r in injector.records] == first
+
+
+class TestRecoveryBetweenSegments:
+    def test_checker_recovers_after_each_fault(self):
+        """Segments after a corrupted one verify cleanly again."""
+        soc, injector, stats = run_with_faults(
+            FaultTarget.MAL_DATA, n=8000, segment_interval=2)
+        results = soc.all_results()
+        assert stats.segments_failed == len(injector.records)
+        assert stats.segments_checked > 0
+        # interleaving: at least one clean segment follows a failed one
+        by_segment = sorted(results, key=lambda r: r.segment)
+        saw_recovery = any(
+            not a.ok and b.ok
+            for a, b in zip(by_segment, by_segment[1:]))
+        assert saw_recovery
+
+
+class TestInjectorConfig:
+    def test_bad_interval_rejected(self):
+        soc = make_verified_soc(make_sum_program(n=10))
+        channel = soc.interconnect.channels_of(0)[0]
+        with pytest.raises(ValueError):
+            FaultInjector(channel, segment_interval=0)
+
+    def test_interval_skips_segments(self):
+        _, inj_all, _ = run_with_faults(FaultTarget.ECP, n=6000,
+                                        segment_interval=1)
+        _, inj_half, _ = run_with_faults(FaultTarget.ECP, n=6000,
+                                         segment_interval=2)
+        assert len(inj_half.records) < len(inj_all.records)
+
+    def test_empty_records_rate_zero(self):
+        soc = make_verified_soc(make_sum_program(n=10))
+        channel = soc.interconnect.channels_of(0)[0]
+        injector = FaultInjector(channel, segment_interval=1000)
+        assert injector.detection_rate == 0.0

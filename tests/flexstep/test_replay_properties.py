@@ -1,0 +1,136 @@
+"""Property-based end-to-end invariants of the verification mechanism.
+
+Hypothesis generates random (but well-formed) user programs; for every
+one of them:
+
+* a fault-free run verifies every segment (no false positives), and
+* the replay covers exactly the committed user instructions.
+
+These are the load-bearing invariants of the whole scheme: FlexStep is
+only usable if the checker never cries wolf on clean executions.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import SoCConfig
+from repro.flexstep import FlexStepSoC
+from repro.isa import assemble
+
+from ..conftest import make_verified_soc
+
+# a compact random-program model: a loop body made of safe slots
+_SLOTS = ("load", "store", "alu", "branch", "amo", "mul")
+
+
+def _program_source(slots, iterations, ws_mask):
+    lines = [
+        ".text",
+        "main:",
+        f"    li x15, {iterations}",
+        "    li x5, 12345",
+        "    li x12, 48271",
+        "    li x6, 0x8000",
+        "    li x13, 0",
+        "    li x14, 0",
+        "outer:",
+        "    mul x5, x5, x12",
+        "    addi x5, x5, 7",
+        f"    andi x8, x5, {ws_mask}",
+        "    slli x8, x8, 3",
+        "    add x8, x8, x6",
+    ]
+    label = 0
+    for slot in slots:
+        if slot == "load":
+            lines.append("    ld x4, 0(x8)")
+            lines.append("    add x13, x13, x4")
+        elif slot == "store":
+            lines.append("    xor x14, x14, x13")
+            lines.append("    sd x14, 8(x8)")
+        elif slot == "alu":
+            lines.append("    add x13, x13, x14")
+        elif slot == "mul":
+            lines.append("    mul x14, x14, x12")
+        elif slot == "amo":
+            lines.append("    amoadd x4, x13, (x8)")
+        elif slot == "branch":
+            label += 1
+            lines.append(f"    andi x7, x5, 3")
+            lines.append(f"    beq x7, x0, L{label}")
+            lines.append("    xor x13, x13, x5")
+            lines.append(f"L{label}:")
+    lines += [
+        "    addi x15, x15, -1",
+        "    bne x15, x0, outer",
+        "    halt",
+    ]
+    return "\n".join(lines)
+
+
+@st.composite
+def random_programs(draw):
+    slots = draw(st.lists(st.sampled_from(_SLOTS), min_size=1,
+                          max_size=12))
+    iterations = draw(st.integers(1, 60))
+    ws_mask = draw(st.sampled_from([7, 63, 255]))
+    return _program_source(slots, iterations, ws_mask)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(random_programs())
+def test_clean_replay_never_false_positives(source):
+    program = assemble(source)
+    soc = make_verified_soc(program)
+    stats = soc.run(max_instructions=2_000_000)
+    assert stats.segments_failed == 0, [
+        r.detail for r in soc.all_results() if not r.ok]
+    replayed = sum(r.count for r in soc.all_results())
+    # everything but the halt is replayed
+    assert replayed == soc.cores[0].stats.user_instructions - 1
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(random_programs(), st.integers(0, 2 ** 31 - 1))
+def test_corrupted_stream_detected_or_masked(source, fault_seed):
+    """One random single-bit flip in the forwarded stream either makes
+    exactly one segment fail, or hits an architecturally dead SCP word
+    (in which case the stream still verifies)."""
+    import random as _random
+    from repro.flexstep import FaultInjector, FaultTarget
+
+    program = assemble(source)
+    soc = make_verified_soc(program)
+    channel = soc.interconnect.channels_of(0)[0]
+    injector = FaultInjector(channel, target=FaultTarget.ANY,
+                             segment_interval=1,
+                             rng=_random.Random(fault_seed))
+    soc.run(max_instructions=2_000_000)
+    injector.resolve(soc.all_results())
+    failed = [r for r in soc.all_results() if not r.ok]
+    # every failure is attributable to an injected fault
+    fault_segments = {r.segment for r in injector.records}
+    for res in failed:
+        assert res.segment in fault_segments
+    # and detection latency is never negative
+    for record in injector.records:
+        if record.detected:
+            assert record.latency_cycles() >= 0
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(random_programs())
+def test_triple_mode_checkers_agree(source):
+    """Both checkers of a one-to-two configuration reach identical
+    verdicts on a clean run."""
+    program = assemble(source)
+    soc = make_verified_soc(program, checkers=2)
+    soc.run(max_instructions=2_000_000)
+    r1 = soc.engine_of(1).results
+    r2 = soc.engine_of(2).results
+    assert len(r1) == len(r2)
+    for a, b in zip(r1, r2):
+        assert (a.segment, a.ok, a.count) == (b.segment, b.ok, b.count)

@@ -1,0 +1,91 @@
+"""Fig. 5 experiment driver tests, including the paper's ordering
+claims as statistical properties."""
+
+import pytest
+
+from repro.sched import FIG5_CONFIGS, schedulability_curve
+from repro.sched.experiments import (
+    render_curves,
+    weighted_schedulability,
+)
+
+
+@pytest.fixture(scope="module")
+def curve_a():
+    cfg = FIG5_CONFIGS["a"]
+    return schedulability_curve(
+        m=cfg["m"], n=cfg["n"], alpha=cfg["alpha"], beta=cfg["beta"],
+        utilizations=(0.35, 0.45, 0.55, 0.65, 0.75, 0.85),
+        sets_per_point=30, seed=99)
+
+
+class TestCurveDriver:
+    def test_configs_match_paper(self):
+        assert set(FIG5_CONFIGS) == set("abcdef")
+        assert FIG5_CONFIGS["e"]["m"] == 16
+        assert FIG5_CONFIGS["f"]["n"] == 80
+        assert FIG5_CONFIGS["d"]["beta"] == 0.0
+
+    def test_ratios_are_probabilities(self, curve_a):
+        for p in curve_a:
+            for ratio in p.ratios.values():
+                assert 0.0 <= ratio <= 1.0
+
+    def test_x_axis_preserved(self, curve_a):
+        assert [p.utilization for p in curve_a] \
+            == [0.35, 0.45, 0.55, 0.65, 0.75, 0.85]
+
+    def test_monotone_decline(self, curve_a):
+        """Acceptance can only fall (statistically) as load grows."""
+        for scheme in ("lockstep", "hmr", "flexstep"):
+            ratios = [p.ratios[scheme] for p in curve_a]
+            # allow small sampling noise
+            for lo, hi in zip(ratios[1:], ratios):
+                assert lo <= hi + 0.15
+
+    def test_paper_ordering_flexstep_dominates(self, curve_a):
+        """Fig. 5's headline: FlexStep ≥ HMR ≥ LockStep (weighted)."""
+        flex = weighted_schedulability(curve_a, "flexstep")
+        hmr = weighted_schedulability(curve_a, "hmr")
+        lock = weighted_schedulability(curve_a, "lockstep")
+        assert flex >= hmr >= lock
+        assert flex > lock  # strictly better overall
+
+    def test_lockstep_sharp_drop(self, curve_a):
+        """LockStep's statically reserved checkers halve capacity: it
+        collapses around x = 0.5 while FlexStep is still near 100%."""
+        at = {p.utilization: p for p in curve_a}
+        assert at[0.55].ratios["lockstep"] <= 0.2
+        assert at[0.55].ratios["flexstep"] >= 0.8
+
+    def test_everyone_accepts_light_load(self, curve_a):
+        for scheme in ("lockstep", "hmr", "flexstep"):
+            assert curve_a[0].ratios[scheme] >= 0.9
+
+    def test_render_contains_all_schemes(self, curve_a):
+        text = render_curves(curve_a)
+        for token in ("lockstep", "hmr", "flexstep", "0.35"):
+            assert token in text
+
+
+class TestTripleCheckPressure:
+    def test_beta_degrades_everyone(self):
+        """Fig. 5(b) vs 5(d): adding triple-check tasks increases
+        demand and lowers acceptance at the same utilisation."""
+        common = dict(m=8, n=64, sets_per_point=25, seed=5,
+                      utilizations=(0.55, 0.65))
+        with_v3 = schedulability_curve(alpha=0.125, beta=0.125, **common)
+        without = schedulability_curve(alpha=0.25, beta=0.0, **common)
+        for scheme in ("flexstep", "hmr"):
+            total_with = sum(p.ratios[scheme] for p in with_v3)
+            total_without = sum(p.ratios[scheme] for p in without)
+            assert total_with <= total_without + 0.1
+
+    def test_fewer_verification_tasks_help_flexstep(self):
+        """Fig. 5(a) vs 5(c): FlexStep's acceptance at a fixed x grows
+        when fewer tasks need verification."""
+        common = dict(m=8, n=64, sets_per_point=25, seed=6,
+                      utilizations=(0.65,))
+        few = schedulability_curve(alpha=0.0625, beta=0.0625, **common)
+        many = schedulability_curve(alpha=0.25, beta=0.25, **common)
+        assert few[0].ratios["flexstep"] >= many[0].ratios["flexstep"]

@@ -1,0 +1,143 @@
+"""Task-model tests: virtual deadlines, densities, class semantics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TaskModelError
+from repro.sched import (
+    OPT_V2_FACTOR,
+    OPT_V3_FACTOR,
+    RTTask,
+    TaskClass,
+    TaskSet,
+)
+from repro.sched.model import optimal_virtual_deadline_factor
+
+
+def task(c, t, cls=TaskClass.TN, tid=0):
+    return RTTask(task_id=tid, wcet=c, period=t, cls=cls)
+
+
+class TestRTTask:
+    def test_implicit_deadline(self):
+        assert task(1, 10).deadline == 10
+
+    def test_utilization(self):
+        assert task(2, 10).utilization == pytest.approx(0.2)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(TaskModelError):
+            task(0, 10)
+        with pytest.raises(TaskModelError):
+            task(1, 0)
+        with pytest.raises(TaskModelError):
+            task(11, 10)   # C > D
+
+    def test_copies_per_class(self):
+        assert TaskClass.TN.copies == 0
+        assert TaskClass.TV2.copies == 1
+        assert TaskClass.TV3.copies == 2
+
+    def test_with_class(self):
+        t = task(1, 10).with_class(TaskClass.TV2)
+        assert t.cls is TaskClass.TV2
+        assert t.is_verification
+
+
+class TestVirtualDeadlines:
+    def test_v2_half(self):
+        t = task(1, 10, TaskClass.TV2)
+        assert t.virtual_deadline == pytest.approx(5.0)
+
+    def test_v3_sqrt2_minus_1(self):
+        t = task(1, 10, TaskClass.TV3)
+        assert t.virtual_deadline == pytest.approx(
+            (math.sqrt(2) - 1) * 10)
+
+    def test_tn_keeps_full_deadline(self):
+        assert task(1, 10).virtual_deadline == 10
+
+    def test_v2_densities(self):
+        t = task(1, 10, TaskClass.TV2)
+        assert t.density_original == pytest.approx(0.2)   # C/(D/2)
+        assert t.density_check == pytest.approx(0.2)
+        assert t.total_density == pytest.approx(0.4)      # 4u
+
+    def test_v3_densities(self):
+        t = task(1, 10, TaskClass.TV3)
+        u = 0.1
+        assert t.total_density == pytest.approx(
+            u * (3 + 2 * math.sqrt(2)), rel=1e-9)         # 5.828u
+
+    def test_tn_density_is_utilization(self):
+        t = task(3, 10)
+        assert t.density_original == t.utilization
+        assert t.density_check == 0.0
+        assert t.total_density == t.utilization
+
+    @given(st.floats(0.01, 0.99), st.floats(1.0, 1000.0))
+    def test_paper_factors_are_optimal_v2(self, frac, period):
+        """D/2 minimises C/D' + C/(D−D') over D' (paper Sec. V)."""
+        t = task(frac * period, period, TaskClass.TV2)
+        optimal = t.total_density
+
+        def density(dp):
+            return t.wcet / dp + t.wcet / (period - dp)
+
+        for factor in (0.3, 0.4, 0.6, 0.7):
+            assert optimal <= density(factor * period) + 1e-9
+
+    @given(st.floats(0.01, 0.99), st.floats(1.0, 1000.0))
+    def test_paper_factors_are_optimal_v3(self, frac, period):
+        t = task(frac * period, period, TaskClass.TV3)
+        optimal = t.total_density
+
+        def density(dp):
+            return t.wcet / dp + 2 * t.wcet / (period - dp)
+
+        for factor in (0.3, 0.35, 0.45, 0.5, 0.6):
+            assert optimal <= density(factor * period) + 1e-9
+
+    def test_closed_form_factor(self):
+        assert optimal_virtual_deadline_factor(1) \
+            == pytest.approx(OPT_V2_FACTOR)
+        assert optimal_virtual_deadline_factor(2) \
+            == pytest.approx(OPT_V3_FACTOR)
+        assert optimal_virtual_deadline_factor(0) == 1.0
+
+
+class TestTaskSet:
+    def _set(self):
+        return TaskSet([
+            task(1, 10, TaskClass.TN, 0),
+            task(1, 10, TaskClass.TV2, 1),
+            task(1, 10, TaskClass.TV3, 2),
+        ])
+
+    def test_aggregate_utilization(self):
+        assert self._set().utilization == pytest.approx(0.3)
+
+    def test_total_density_includes_copies(self):
+        ts = self._set()
+        assert ts.total_density > ts.utilization
+
+    def test_class_queries(self):
+        ts = self._set()
+        assert len(ts.verification_tasks) == 2
+        assert len(ts.normal_tasks) == 1
+        assert len(ts.by_class(TaskClass.TV3)) == 1
+
+    def test_class_fractions(self):
+        fr = self._set().class_fractions()
+        assert fr[TaskClass.TV2] == pytest.approx(1 / 3)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(TaskModelError):
+            TaskSet([task(1, 10, tid=0), task(1, 10, tid=0)])
+
+    def test_indexing_and_len(self):
+        ts = self._set()
+        assert len(ts) == 3
+        assert ts[1].cls is TaskClass.TV2

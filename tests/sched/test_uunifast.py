@@ -1,0 +1,85 @@
+"""UUnifast generator tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TaskModelError
+from repro.sched import TaskClass, generate_task_set, uunifast
+
+
+class TestUUnifast:
+    @given(st.integers(1, 100), st.floats(0.1, 16.0),
+           st.integers(0, 2 ** 32 - 1))
+    def test_sums_to_target(self, n, total, seed):
+        utils = uunifast(n, total, random.Random(seed))
+        assert len(utils) == n
+        assert sum(utils) == pytest.approx(total, rel=1e-9)
+
+    @given(st.integers(1, 50), st.integers(0, 2 ** 32 - 1))
+    def test_all_positive(self, n, seed):
+        utils = uunifast(n, 2.0, random.Random(seed))
+        assert all(u >= 0 for u in utils)
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(TaskModelError):
+            uunifast(0, 1.0, random.Random())
+        with pytest.raises(TaskModelError):
+            uunifast(5, 0.0, random.Random())
+
+    def test_deterministic_given_seed(self):
+        a = uunifast(10, 3.0, random.Random(42))
+        b = uunifast(10, 3.0, random.Random(42))
+        assert a == b
+
+
+class TestGenerateTaskSet:
+    def test_counts_and_utilization(self):
+        ts = generate_task_set(160, 4.0, alpha=0.0625, beta=0.0625,
+                               rng=random.Random(1))
+        assert len(ts) == 160
+        assert ts.utilization == pytest.approx(4.0, rel=1e-6)
+        assert len(ts.by_class(TaskClass.TV2)) == 10
+        assert len(ts.by_class(TaskClass.TV3)) == 10
+
+    def test_periods_within_range(self):
+        ts = generate_task_set(50, 2.0, period_range=(10.0, 100.0),
+                               rng=random.Random(2))
+        for t in ts:
+            assert 10.0 <= t.period <= 100.0
+
+    def test_max_task_utilization_respected(self):
+        ts = generate_task_set(20, 2.0, rng=random.Random(3),
+                               max_task_utilization=0.5)
+        assert all(t.utilization <= 0.5 + 1e-9 for t in ts)
+
+    def test_implicit_deadlines_valid(self):
+        ts = generate_task_set(80, 6.0, alpha=0.25, beta=0.25,
+                               rng=random.Random(4))
+        for t in ts:
+            assert 0 < t.wcet <= t.period
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(TaskModelError):
+            generate_task_set(10, 1.0, alpha=0.7, beta=0.7)
+        with pytest.raises(TaskModelError):
+            generate_task_set(10, 1.0, alpha=-0.1)
+
+    def test_bad_period_range_rejected(self):
+        with pytest.raises(TaskModelError):
+            generate_task_set(10, 1.0, period_range=(100.0, 10.0))
+
+    def test_infeasible_constraint_rejected(self):
+        with pytest.raises(TaskModelError):
+            # 2 tasks summing to 1.9 with max 0.6 each is impossible
+            generate_task_set(2, 1.9, max_task_utilization=0.6,
+                              rng=random.Random(5))
+
+    @settings(max_examples=20)
+    @given(st.integers(0, 1000))
+    def test_class_assignment_random_but_exact(self, seed):
+        ts = generate_task_set(40, 2.0, alpha=0.25, beta=0.25,
+                               rng=random.Random(seed))
+        assert len(ts.by_class(TaskClass.TV2)) == 10
+        assert len(ts.by_class(TaskClass.TV3)) == 10

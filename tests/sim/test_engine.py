@@ -1,0 +1,155 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.sim.engine import EventQueue, Simulator, SimulationError
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda: order.append("b"))
+        q.push(1.0, lambda: order.append("a"))
+        while (e := q.pop()) is not None:
+            e.callback()
+        assert order == ["a", "b"]
+
+    def test_priority_breaks_ties(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("low"), priority=1)
+        q.push(1.0, lambda: order.append("high"), priority=0)
+        while (e := q.pop()) is not None:
+            e.callback()
+        assert order == ["high", "low"]
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append(1))
+        q.push(1.0, lambda: order.append(2))
+        while (e := q.pop()) is not None:
+            e.callback()
+        assert order == [1, 2]
+
+    def test_cancellation(self):
+        q = EventQueue()
+        fired = []
+        event = q.push(1.0, lambda: fired.append(1))
+        event.cancel()
+        assert q.pop() is None
+        assert not fired
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e.cancel()
+        assert len(q) == 1
+        assert bool(q)
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        e.cancel()
+        assert q.peek_time() == 5.0
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.at(3.0, lambda: times.append(sim.now))
+        sim.at(1.0, lambda: times.append(sim.now))
+        end = sim.run()
+        assert times == [1.0, 3.0]
+        assert end == 3.0
+
+    def test_after_relative(self):
+        sim = Simulator()
+        sim.at(2.0, lambda: sim.after(3.0, lambda: None))
+        assert sim.run() == 5.0
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().after(-1.0, lambda: None)
+
+    def test_until_limit(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1.0, lambda: fired.append(1))
+        sim.at(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.at(t, lambda: None)
+        sim.run(max_events=2)
+        assert sim.events_processed == 2
+
+    def test_determinism(self):
+        def build():
+            sim = Simulator()
+            log = []
+            for t in (1.0, 1.0, 2.0):
+                sim.at(t, lambda t=t: log.append((sim.now, t)))
+            sim.run()
+            return log
+        assert build() == build()
+
+
+class TestProcess:
+    def test_generator_delays(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield 2.0
+            trace.append(sim.now)
+            yield 3.0
+            trace.append(sim.now)
+            return "done"
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert trace == [0.0, 2.0, 5.0]
+        assert p.finished and p.result == "done"
+
+    def test_cancel_stops_process(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append("a")
+            yield 1.0
+            trace.append("b")
+            yield 1.0
+            trace.append("c")
+
+        p = sim.spawn(proc())
+        sim.at(1.5, p.cancel)
+        sim.run()
+        assert trace == ["a", "b"]
+
+    def test_negative_yield_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -1,0 +1,174 @@
+"""Workload profile and generator tests."""
+
+import pytest
+
+from repro.config import SoCConfig
+from repro.flexstep import FlexStepSoC
+from repro.workloads import (
+    PARSEC,
+    SPECINT,
+    GeneratorOptions,
+    build_program,
+    get_profile,
+)
+from repro.workloads.generator import (
+    KERNEL_COUNTER_ADDR,
+    RESULT_ADDR,
+    trap_handler_address,
+)
+from repro.workloads.profiles import WorkloadProfile
+from repro.isa.instructions import OpKind
+
+
+def run_program(program, max_instructions=3_000_000):
+    soc = FlexStepSoC(SoCConfig(num_cores=1))
+    soc.load_program(0, program)
+    soc.run(max_instructions=max_instructions)
+    return soc
+
+
+class TestProfiles:
+    def test_suite_sizes_match_paper(self):
+        assert len(PARSEC) == 8      # Fig. 4(a) workloads
+        assert len(SPECINT) == 11    # full SPECint CPU2006
+
+    def test_lookup(self):
+        assert get_profile("dedup").suite == "parsec"
+        assert get_profile("mcf").suite == "specint"
+        with pytest.raises(KeyError):
+            get_profile("doom")
+
+    def test_nzdc_compile_failures_match_paper(self):
+        broken = {p.name for p in (*PARSEC, *SPECINT)
+                  if not p.nzdc_compiles}
+        assert broken == {"bodytrack", "ferret", "gcc"}
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", suite="parsec", mem_ratio=0.5,
+                            store_fraction=0.3, branch_ratio=0.5,
+                            branch_entropy=0.5)
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", suite="parsec", mem_ratio=0.2,
+                            store_fraction=0.3, branch_ratio=0.1,
+                            branch_entropy=0.5, working_set_words=1000)
+
+
+class TestGenerator:
+    def test_program_runs_to_halt(self):
+        prog = build_program(get_profile("dedup"),
+                             GeneratorOptions(target_instructions=8000))
+        soc = run_program(prog)
+        core = soc.cores[0]
+        assert core.halted
+        # halted on the main path (not the nzdc error stub, which does
+        # not exist here; and x14 was stored to the result slot)
+        assert soc.memory.read_word(RESULT_ADDR) == core.regs.read(14)
+        assert core.stats.instructions > 4000
+
+    def test_deterministic(self):
+        opts = GeneratorOptions(target_instructions=5000)
+        a = build_program(get_profile("x264"), opts)
+        b = build_program(get_profile("x264"), opts)
+        assert [str(i) for i in a] == [str(i) for i in b]
+
+    def test_distinct_profiles_distinct_programs(self):
+        opts = GeneratorOptions(target_instructions=5000)
+        a = build_program(get_profile("x264"), opts)
+        b = build_program(get_profile("mcf"), opts)
+        assert [str(i) for i in a] != [str(i) for i in b]
+
+    def test_instruction_budget_respected(self):
+        prog = build_program(get_profile("bzip2"),
+                             GeneratorOptions(target_instructions=20000))
+        soc = run_program(prog)
+        executed = soc.cores[0].stats.instructions
+        assert 0.5 * 20000 <= executed <= 2.0 * 20000
+
+    def test_syscalls_reach_kernel(self):
+        prog = build_program(get_profile("dedup"),
+                             GeneratorOptions(target_instructions=15000))
+        soc = run_program(prog)
+        assert soc.memory.read_word(KERNEL_COUNTER_ADDR) > 0
+        assert trap_handler_address(prog) is not None
+
+    def test_mix_contains_expected_kinds(self):
+        prog = build_program(get_profile("fluidanimate"),
+                             GeneratorOptions(target_instructions=5000))
+        kinds = {inst.info.kind for inst in prog}
+        assert {OpKind.LOAD, OpKind.STORE, OpKind.AMO, OpKind.BRANCH,
+                OpKind.ALU}.issubset(kinds)
+
+    def test_memory_density_scales_with_profile(self):
+        opts = GeneratorOptions(target_instructions=10000)
+        heavy = run_program(build_program(get_profile("streamcluster"),
+                                          opts))
+        light = run_program(build_program(get_profile("blackscholes"),
+                                          opts))
+        heavy_ratio = heavy.cores[0].stats.memory_ops \
+            / heavy.cores[0].stats.instructions
+        light_ratio = light.cores[0].stats.memory_ops \
+            / light.cores[0].stats.instructions
+        assert heavy_ratio > light_ratio
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorOptions(mode="fancy")
+        with pytest.raises(ValueError):
+            GeneratorOptions(target_instructions=10,
+                             block_instructions=100)
+
+
+class TestNzdcMode:
+    def test_nzdc_program_is_bigger_but_same_work(self):
+        opts = GeneratorOptions(target_instructions=8000)
+        plain = build_program(get_profile("hmmer"), opts)
+        nzdc = build_program(
+            get_profile("hmmer"),
+            GeneratorOptions(target_instructions=8000, mode="nzdc"))
+        assert len(nzdc) > len(plain)
+        # same algorithmic result
+        r_plain = run_program(plain).memory.read_word(RESULT_ADDR)
+        r_nzdc = run_program(nzdc).memory.read_word(RESULT_ADDR)
+        assert r_plain == r_nzdc
+
+    def test_nzdc_never_false_positives(self):
+        """A fault-free nzdc run must not trip its own error stub."""
+        for name in ("dedup", "sjeng"):
+            prog = build_program(
+                get_profile(name),
+                GeneratorOptions(target_instructions=8000, mode="nzdc"))
+            soc = run_program(prog)
+            # reaching the _nzdc_err stub would halt at its second
+            # instruction; the clean path halts right after the final
+            # result store in main
+            err = prog.labels["_nzdc_err"]
+            handler = prog.labels["_trap_handler"]
+            halted_at = soc.cores[0].pc - 4
+            assert not err <= halted_at < handler, name
+
+    def test_nzdc_slower_than_plain(self):
+        opts = GeneratorOptions(target_instructions=8000)
+        plain = run_program(build_program(get_profile("gobmk"), opts))
+        nzdc = run_program(build_program(
+            get_profile("gobmk"),
+            GeneratorOptions(target_instructions=8000, mode="nzdc")))
+        slowdown = nzdc.cores[0].stats.cycles \
+            / plain.cores[0].stats.cycles
+        assert slowdown > 1.3
+
+    def test_nzdc_rejected_for_noncompiling_profiles(self):
+        with pytest.raises(ValueError):
+            build_program(get_profile("gcc"),
+                          GeneratorOptions(target_instructions=5000,
+                                           mode="nzdc"))
+
+    def test_nzdc_verifiable_under_flexstep(self):
+        """Nzdc instrumentation and FlexStep checking can coexist."""
+        prog = build_program(
+            get_profile("hmmer"),
+            GeneratorOptions(target_instructions=6000, mode="nzdc"))
+        from ..conftest import make_verified_soc
+        soc = make_verified_soc(prog)
+        stats = soc.run()
+        assert stats.segments_failed == 0
