@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Headless perf-bench entry point.
+
+Runs the execution-engine benchmark (``repro.perfbench``) outside
+pytest and appends a timestamped record to ``BENCH_engine.json``, so a
+PR can report its speedup with one command::
+
+    python scripts/bench.py --label "PR 1: decoded dispatch"
+
+Defaults come from the ``REPRO_BENCH_ENGINE_*`` environment variables
+(see ``repro/perfbench.py``); flags override the environment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro import perfbench  # noqa: E402  (needs the sys.path insert)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the execution-engine benchmark and append the "
+                    "record to the perf trajectory file.")
+    parser.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workload names "
+             f"(default: {','.join(perfbench.DEFAULT_WORKLOADS)})")
+    parser.add_argument(
+        "--instructions", type=int, default=None,
+        help="target instructions per workload "
+             f"(default {perfbench.default_instructions()})")
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help=f"timing repeats (default {perfbench.default_repeats()})")
+    parser.add_argument(
+        "--label", default=os.environ.get("REPRO_BENCH_LABEL", ""),
+        help="free-form tag stored with the record (e.g. the PR title)")
+    parser.add_argument(
+        "--output", default=None,
+        help=f"trajectory file (default <repo>/{perfbench.BENCH_FILE})")
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="print the record without writing the trajectory file")
+    args = parser.parse_args(argv)
+
+    workloads = None
+    if args.workloads:
+        workloads = [w.strip() for w in args.workloads.split(",")
+                     if w.strip()]
+    record = perfbench.run_engine_benchmark(
+        workloads, target_instructions=args.instructions,
+        repeats=args.repeats, label=args.label)
+    print(perfbench.format_record(record))
+    if args.dry_run:
+        return 0
+    path = perfbench.append_record(record, args.output)
+    print(f"\nappended record to {path}")
+    threshold = perfbench.min_speedup_threshold(5.0)
+    if record["speedup_geomean"] < threshold:
+        print(f"WARNING: geomean speedup {record['speedup_geomean']}x "
+              f"below the {threshold}x target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

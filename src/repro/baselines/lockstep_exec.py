@@ -108,7 +108,11 @@ class LockStepGroup:
 
     @staticmethod
     def _commits_equal(a: CommitRecord, b: CommitRecord) -> bool:
-        return (a.pc == b.pc and a.inst == b.inst
+        # Cores share one Program, so matching commits carry the *same*
+        # Instruction object; the identity test short-circuits the
+        # field-by-field dataclass comparison on the hot path.
+        return (a.pc == b.pc
+                and (a.inst is b.inst or a.inst == b.inst)
                 and a.next_pc == b.next_pc and a.mem_ops == b.mem_ops)
 
     def run(self, *, max_instructions: int = 10_000_000,

@@ -20,7 +20,8 @@ from .registers import (
 from .cache import Cache, MemoryHierarchy
 from .memory import MainMemory, MemoryPort, DirectPort, CachedPort
 from .branch import BranchPredictor
-from .core import Core, CommitRecord, CoreStats
+from .core import Core, CommitRecord, CoreStats, MemEntry
+from .decode import DecodedProgram, decode_program
 
 __all__ = [
     "ArchSnapshot",
@@ -43,4 +44,7 @@ __all__ = [
     "Core",
     "CommitRecord",
     "CoreStats",
+    "MemEntry",
+    "DecodedProgram",
+    "decode_program",
 ]

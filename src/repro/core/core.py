@@ -6,11 +6,34 @@ units need: privilege level, memory operations in commit order, and the
 cycle cost.  Commit hooks let the RCPM/MAL attach without the core
 knowing about them (mirroring the paper's "incorporating the same
 functional units into each core").
+
+Execution engines
+-----------------
+The core dispatches through one of two engines:
+
+``decoded`` (default)
+    The decoded-dispatch engine (:mod:`repro.core.decode`): every
+    instruction of the loaded program is decoded once into a pre-bound
+    execution kernel, and the hot loop indexes ``kernels[(pc-base)>>2]``
+    with no string comparison, no ``inst.info`` registry lookup and —
+    on the record-free paths :meth:`advance` / :meth:`exec_one` — no
+    per-step allocation for non-memory instructions.
+
+``interp``
+    The seed string-keyed interpreter, kept verbatim as the executable
+    reference.  The differential suite
+    (``tests/core/test_differential_engine.py``) runs both engines over
+    randomized programs and asserts bit-identical architectural state,
+    Memory Access Log streams and cycle counts.
+
+Select with ``Core(..., engine="interp")`` or the ``REPRO_CORE_ENGINE``
+environment variable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..config import CoreConfig
@@ -29,6 +52,7 @@ from ..isa.instructions import (
 from ..isa.program import Program
 from .branch import BranchPredictor
 from .cache import Cache, MemoryHierarchy
+from .decode import DecodedProgram, decode_program
 from .memory import MemoryPort
 from .registers import (
     ArchSnapshot,
@@ -44,36 +68,88 @@ from .registers import (
     SNAPSHOT_CSRS,
 )
 
+#: Environment override for the default execution engine.
+_ENGINE_ENV = "REPRO_CORE_ENGINE"
 
-@dataclass(frozen=True)
+_ENGINES = ("decoded", "interp")
+
+
 class MemEntry:
     """One Memory Access Log entry: direction, address, data word.
 
     ``kind`` is ``"r"`` for a read or ``"w"`` for a write.  AMO/LR/SC
     instructions expand to multiple entries (paper Sec. III-B).
+
+    A plain ``__slots__`` class (not a frozen dataclass): the execution
+    kernels allocate these on every committed memory instruction, and
+    slotted construction is several times cheaper than dataclass
+    ``__init__`` + ``__post_init__`` machinery.
     """
 
-    kind: str
-    addr: int
-    data: int
+    __slots__ = ("kind", "addr", "data")
+
+    def __init__(self, kind: str, addr: int, data: int):
+        self.kind = kind
+        self.addr = addr
+        self.data = data
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MemEntry):
+            return NotImplemented
+        return (self.kind == other.kind and self.addr == other.addr
+                and self.data == other.data)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.addr, self.data))
+
+    def __repr__(self) -> str:
+        return f"MemEntry(kind={self.kind!r}, addr={self.addr:#x}, " \
+               f"data={self.data:#x})"
 
 
-@dataclass(frozen=True)
 class CommitRecord:
-    """Everything observable about one committed instruction."""
+    """Everything observable about one committed instruction (slotted)."""
 
-    pc: int
-    inst: Instruction
-    priv: Privilege
-    next_pc: int
-    mem_ops: tuple[MemEntry, ...] = ()
-    cycles: int = 1
-    trap: bool = False
-    trap_cause: int = 0
+    __slots__ = ("pc", "inst", "priv", "next_pc", "mem_ops", "cycles",
+                 "trap", "trap_cause")
+
+    def __init__(self, pc: int, inst: Instruction, priv: Privilege,
+                 next_pc: int, mem_ops: tuple = (), cycles: int = 1,
+                 trap: bool = False, trap_cause: int = 0):
+        self.pc = pc
+        self.inst = inst
+        self.priv = priv
+        self.next_pc = next_pc
+        self.mem_ops = mem_ops
+        self.cycles = cycles
+        self.trap = trap
+        self.trap_cause = trap_cause
 
     @property
     def is_memory(self) -> bool:
         return bool(self.mem_ops)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CommitRecord):
+            return NotImplemented
+        return (self.pc == other.pc and self.inst == other.inst
+                and self.priv == other.priv
+                and self.next_pc == other.next_pc
+                and self.mem_ops == other.mem_ops
+                and self.cycles == other.cycles
+                and self.trap == other.trap
+                and self.trap_cause == other.trap_cause)
+
+    def __hash__(self) -> int:
+        return hash((self.pc, self.inst, self.priv, self.next_pc,
+                     self.mem_ops, self.cycles, self.trap,
+                     self.trap_cause))
+
+    def __repr__(self) -> str:
+        return (f"CommitRecord(pc={self.pc:#x}, inst={self.inst!r}, "
+                f"priv={self.priv!r}, next_pc={self.next_pc:#x}, "
+                f"mem_ops={self.mem_ops!r}, cycles={self.cycles}, "
+                f"trap={self.trap}, trap_cause={self.trap_cause})")
 
 
 @dataclass
@@ -109,11 +185,15 @@ class Core:
     l1i / hierarchy:
         Optional instruction-fetch timing path; when omitted, fetches
         are free (functional-only runs).
+    engine:
+        ``"decoded"`` (default) or ``"interp"`` (seed reference
+        interpreter); falls back to the ``REPRO_CORE_ENGINE`` env var.
     """
 
     def __init__(self, core_id: int, config: CoreConfig, port: MemoryPort,
                  *, l1i: Cache | None = None,
-                 hierarchy: MemoryHierarchy | None = None):
+                 hierarchy: MemoryHierarchy | None = None,
+                 engine: str | None = None):
         self.core_id = core_id
         self.config = config
         self.port = port
@@ -130,6 +210,19 @@ class Core:
         self._reservation: Optional[int] = None
         self._pending_interrupt: Optional[int] = None
         self._hooks: list[CommitHook] = []
+        engine = engine or os.environ.get(_ENGINE_ENV, "decoded")
+        if engine not in _ENGINES:
+            raise ValueError(
+                f"unknown execution engine {engine!r}; choose from "
+                f"{_ENGINES}")
+        self.engine = engine
+        self._use_decoded = engine == "decoded"
+        self._decoded: Optional[DecodedProgram] = None
+        # Kernel scratch (see repro.core.decode kernel contract).
+        self._record_mem = True
+        self._mem_scratch: tuple = ()
+        self._trap_scratch = -1
+        self._block_scratch: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # setup / control
@@ -141,6 +234,7 @@ class Core:
         self.program = program
         self.pc = entry if entry is not None else program.entry
         self.halted = False
+        self._decoded = None
 
     def add_commit_hook(self, hook: CommitHook) -> None:
         self._hooks.append(hook)
@@ -168,6 +262,37 @@ class Core:
         self.pc = snap.npc
 
     # ------------------------------------------------------------------
+    # decoded-dispatch plumbing
+    # ------------------------------------------------------------------
+
+    def decoded(self) -> DecodedProgram:
+        """The loaded program's decode tables (building them if needed).
+
+        Valid for either engine — ``interp`` cores may still use the
+        tables for metadata peeks (the checker's replay scheduler does).
+        """
+        d = self._decoded
+        if d is None or d.program is not self.program:
+            if self.program is None:
+                raise IllegalInstructionError(
+                    f"core {self.core_id} has no program loaded")
+            d = decode_program(self.program, self.config)
+            self._decoded = d
+        return d
+
+    def peek_kind_code(self) -> int:
+        """Integer kind code of the instruction at the current pc.
+
+        Raises the same :class:`~repro.errors.IsaError` as
+        ``program.fetch`` when the pc escapes the program.
+        """
+        d = self.decoded()
+        off = self.pc - d.base
+        if off < 0 or off >= d.limit or off & 3:
+            self.program.fetch(self.pc)  # raises with canonical message
+        return d.kinds[off >> 2]
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
 
@@ -182,25 +307,195 @@ class Core:
 
         if self._pending_interrupt is not None:
             record = self._take_interrupt()
-            self._dispatch(record)
+            self.stats.traps += 1
+            self._retire(record)
             return record
 
         pc = self.pc
-        inst = self.program.fetch(pc)
-        cycles = 1
-        if self.l1i is not None and self.hierarchy is not None:
-            cycles += self.hierarchy.fetch_access(self.l1i, pc)
+        if not self._use_decoded:
+            inst = self.program.fetch(pc)
+            cycles = 1
+            if self.l1i is not None and self.hierarchy is not None:
+                cycles += self.hierarchy.fetch_access(self.l1i, pc)
+            record = self._execute(pc, inst, cycles)
+            self.stats.memory_ops += len(record.mem_ops)
+            if record.trap:
+                self.stats.traps += 1
+            self._retire(record)
+            return record
 
-        record = self._execute(pc, inst, cycles)
-        self._dispatch(record)
+        d = self._decoded
+        if d is None or d.program is not self.program:
+            d = self.decoded()
+        off = pc - d.base
+        if off < 0 or off >= d.limit or off & 3:
+            self.program.fetch(pc)  # raises with canonical message
+        extra = 0
+        if self.l1i is not None and self.hierarchy is not None:
+            extra = self.hierarchy.fetch_access(self.l1i, pc)
+        prior_priv = self.priv
+        self._record_mem = True
+        self._mem_scratch = ()
+        self._trap_scratch = -1
+        idx = off >> 2
+        cycles = d.kernels[idx](self) + extra
+        cause = self._trap_scratch
+        record = CommitRecord(pc, d.insts[idx], prior_priv, self.pc,
+                              self._mem_scratch, cycles,
+                              cause >= 0, cause if cause >= 0 else 0)
+        self._retire(record)
         return record
 
-    def run(self, max_instructions: int = 1_000_000) -> CoreStats:
-        """Step until halt; raises on exceeding the watchdog budget."""
+    def exec_one(self) -> int:
+        """Execute one instruction on the record-free fast path.
+
+        Architectural state, stats and ``instret`` advance exactly as in
+        :meth:`step`, but no :class:`CommitRecord` or
+        :class:`MemEntry` objects are built.  Falls back to
+        :meth:`step` whenever full fidelity demands it (commit hooks
+        registered, reference engine, pending interrupt).  Returns the
+        cycles charged.
+        """
+        if (self._hooks or not self._use_decoded
+                or self._pending_interrupt is not None):
+            return self.step().cycles
+        if self.halted:
+            raise IllegalInstructionError(
+                f"core {self.core_id} is halted")
+        if self.program is None:
+            raise IllegalInstructionError(
+                f"core {self.core_id} has no program loaded")
+        d = self._decoded
+        if d is None or d.program is not self.program:
+            d = self.decoded()
+        pc = self.pc
+        off = pc - d.base
+        if off < 0 or off >= d.limit or off & 3:
+            self.program.fetch(pc)  # raises with canonical message
+        extra = 0
+        if self.l1i is not None and self.hierarchy is not None:
+            extra = self.hierarchy.fetch_access(self.l1i, pc)
+        user = self.priv is Privilege.USER
+        self._record_mem = False
+        try:
+            cycles = d.kernels[off >> 2](self) + extra
+        finally:
+            self._record_mem = True
+        stats = self.stats
+        stats.instructions += 1
+        if user:
+            stats.user_instructions += 1
+        stats.cycles += cycles
+        self.csrs._csrs[CSR_INSTRET] += 1
+        return cycles
+
+    def advance(self, n: int) -> int:
+        """Execute up to ``n`` instructions; returns how many committed.
+
+        The batched fast path: one decoded-dispatch loop with stats
+        accumulated in locals and flushed on exit, no record or MAL
+        allocation, and the L1I timing path folded in when modelled.
+        Stops early at a halt.  Falls back to a :meth:`step` loop when
+        commit hooks are registered or the reference engine is
+        selected, so observable behaviour is engine-independent.
+
+        Asynchronous interrupts are taken only at the batch boundary
+        (callers post them between batches; nothing inside the loop can
+        post one).
+        """
+        if n <= 0 or self.halted:
+            return 0
+        if self.program is None:
+            raise IllegalInstructionError(
+                f"core {self.core_id} has no program loaded")
         executed = 0
-        while not self.halted:
+        while self._pending_interrupt is not None and executed < n \
+                and not self.halted:
             self.step()
             executed += 1
+        if self._hooks or not self._use_decoded:
+            while executed < n and not self.halted:
+                self.step()
+                executed += 1
+            return executed
+        if executed >= n or self.halted:
+            return executed
+
+        d = self._decoded
+        if d is None or d.program is not self.program:
+            d = self.decoded()
+        kernels = d.kernels
+        base = d.base
+        limit = d.limit
+        stats = self.stats
+        csrd = self.csrs._csrs
+        user_priv = Privilege.USER
+        l1i = self.l1i
+        hierarchy = self.hierarchy
+        use_l1i = l1i is not None and hierarchy is not None
+        if use_l1i:
+            fetch = hierarchy.fetch_access
+        blocks = d.blocks
+        block_lens = d.block_lens
+        cycles = 0
+        user = 0
+        in_user = False
+        self._record_mem = False
+        self._block_scratch = None
+        try:
+            pc = self.pc
+            while executed < n:
+                off = pc - base
+                if off < 0 or off >= limit or off & 3:
+                    self.program.fetch(pc)  # raises canonical IsaError
+                idx = off >> 2
+                in_user = self.priv is user_priv
+                if use_l1i:
+                    # Per-instruction path: the I-fetch timing model
+                    # needs each pc, so blocks cannot be fused.
+                    take = 1
+                    c = fetch(l1i, pc) + kernels[idx](self)
+                else:
+                    take = block_lens[idx]
+                    if take > n - executed:
+                        take = 1
+                        c = kernels[idx](self)
+                    else:
+                        c = blocks[idx](self)
+                cycles += c
+                executed += take
+                csrd[CSR_INSTRET] += take
+                if in_user:
+                    user += take
+                pc = self.pc
+                if self.halted:
+                    break
+        except BaseException:
+            # A block may die mid-run (memory fault, CSR privilege
+            # error): settle the members that did commit.  Each member
+            # kernel updates pc itself, so pc is already architectural.
+            partial = self._block_scratch
+            if partial is not None:
+                done, part_cycles = partial
+                self._block_scratch = None
+                executed += done
+                cycles += part_cycles
+                csrd[CSR_INSTRET] += done
+                if in_user:
+                    user += done
+            raise
+        finally:
+            self._record_mem = True
+            stats.instructions += executed
+            stats.user_instructions += user
+            stats.cycles += cycles
+        return executed
+
+    def run(self, max_instructions: int = 1_000_000) -> CoreStats:
+        """Run until halt; raises on exceeding the watchdog budget."""
+        executed = 0
+        while not self.halted:
+            executed += self.advance(max_instructions + 1 - executed)
             if executed > max_instructions:
                 raise ExecutionLimitExceeded(
                     f"core {self.core_id} exceeded {max_instructions} "
@@ -211,16 +506,20 @@ class Core:
     # internals
     # ------------------------------------------------------------------
 
-    def _dispatch(self, record: CommitRecord) -> None:
-        self.stats.instructions += 1
+    def _retire(self, record: CommitRecord) -> None:
+        """Commit-time accounting shared by both engines.
+
+        Memory-op and trap counters are owned by whoever produced the
+        record (kernels on the decoded path, :meth:`step` on the
+        reference path) because the decoded kernels also run without
+        records on the fast paths.
+        """
+        stats = self.stats
+        stats.instructions += 1
         if record.priv is Privilege.USER:
-            self.stats.user_instructions += 1
-        self.stats.cycles += record.cycles
-        self.stats.memory_ops += len(record.mem_ops)
-        if record.trap:
-            self.stats.traps += 1
-        self.csrs.raw_write(CSR_INSTRET,
-                            self.csrs.raw_read(CSR_INSTRET) + 1)
+            stats.user_instructions += 1
+        stats.cycles += record.cycles
+        self.csrs._csrs[CSR_INSTRET] += 1
         for hook in self._hooks:
             hook(record)
 
@@ -240,13 +539,18 @@ class Core:
                             mispredict_penalty_cycles,
                             trap=True, trap_cause=cause)
 
+    # ------------------------------------------------------------------
+    # reference interpreter (the seed engine, kept for differential
+    # testing; semantics must match repro.core.decode kernel for kernel)
+    # ------------------------------------------------------------------
+
     def _execute(self, pc: int, inst: Instruction, cycles: int,
                  ) -> CommitRecord:
         op = inst.op
         kind = inst.info.kind
         regs = self.regs
         next_pc = pc + INST_BYTES
-        mem_ops: tuple[MemEntry, ...] = ()
+        mem_ops: tuple = ()
         trap = False
         trap_cause = 0
         prior_priv = self.priv
@@ -372,15 +676,27 @@ class Core:
         raise IllegalInstructionError(f"unknown ALU op {op!r}")
 
     def _divide(self, inst: Instruction) -> int:
+        """Truncating signed divide/remainder in pure integer arithmetic.
+
+        ``int(a / b)`` would route 64-bit operands through a float and
+        silently corrupt results beyond 2**53; integer floor division
+        with explicit sign handling is exact over the full range.
+        """
         a = to_signed64(self.regs.read(inst.rs1))
         b = to_signed64(self.regs.read(inst.rs2))
         if inst.op == "div":
             if b == 0:
                 return MASK64  # RISC-V: division by zero yields -1
-            return int(a / b) & MASK64  # truncate toward zero
+            q = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                q = -q
+            return q & MASK64  # truncate toward zero
         if b == 0:
             return a & MASK64  # remainder by zero yields dividend
-        return (a - int(a / b) * b) & MASK64
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return (a - q * b) & MASK64
 
     @staticmethod
     def _amo_value(op: str, old: int, rs2: int) -> int:
@@ -432,18 +748,15 @@ class Core:
         target = (self.regs.read(inst.rs1) + inst.imm) & MASK64 & ~1
         if inst.rd == 0 and inst.rs1 == 1:
             # return: predict via RAS
-            predicted = self.predictor.pop_return()
-            if predicted != target:
+            if self.predictor.pop_return() != target:
                 extra = penalty
         else:
             if self.predictor.update_target(pc, target):
                 extra = penalty
             if inst.rd != 0:
+                # call: write the link register, push the return address
                 self.regs.write(inst.rd, pc + INST_BYTES)
                 self.predictor.push_return(pc + INST_BYTES)
-                return target, extra
-        if inst.rd != 0:
-            self.regs.write(inst.rd, pc + INST_BYTES)
         return target, extra
 
     def _csr_op(self, inst: Instruction) -> None:

@@ -24,9 +24,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.core import Core
+from ..core.decode import K_HALT, K_SYSTEM, MAL_ENTRIES_BY_KIND
 from ..core.registers import ArchSnapshot
 from ..errors import VerificationMismatch
-from ..isa.instructions import OpKind
 from .dbc import Channel
 from .packets import (
     EcpPacket,
@@ -220,6 +220,28 @@ class CheckerEngine:
         elif self.state is CheckerState.SKIP:
             self._step_skip()
 
+    def advance(self, horizon: Optional[int] = None,
+                max_actions: int = 256) -> int:
+        """Run a batch of checker actions between co-sim sync points.
+
+        Takes at least one action (the co-simulation's progress
+        guarantee), then keeps going while the checker's local clock
+        stays below ``horizon`` — the point where another core would
+        become the event-ordering minimum — and there is conceivably
+        work left.  Returns the number of actions taken.
+        """
+        done = 0
+        while True:
+            self.step()
+            done += 1
+            if done >= max_actions:
+                break
+            if self.state is CheckerState.IDLE or self.drained:
+                break
+            if horizon is not None and self.core.stats.cycles >= horizon:
+                break
+        return done
+
     # -- WAIT_SCP -------------------------------------------------------
 
     def _step_wait_scp(self) -> None:
@@ -285,28 +307,31 @@ class CheckerEngine:
         if self._ic is None and next_count > self._safe_count:
             self._idle(1)
             return
-        inst = None
         try:
-            inst = self.core.program.fetch(self.core.pc)
+            # Decoded-dispatch metadata peek: no Instruction fetch, no
+            # info registry lookup on the replay hot path.
+            kind_code = self.core.peek_kind_code()
         except Exception:
             self._fail(self._segment,
                        f"replay pc {self.core.pc:#x} escaped the program")
             self.state = CheckerState.SKIP
             return
-        kind = inst.info.kind
-        if kind in (OpKind.SYSTEM, OpKind.HALT):
+        if kind_code == K_SYSTEM or kind_code == K_HALT:
             # A correct segment never contains a privilege switch; report
             # the divergence (corrupted IC or SCP drove us here).
+            op = self.core.program.fetch(self.core.pc).op
             self._fail(self._segment,
-                       f"replay reached {inst.op} at {self.core.pc:#x}")
+                       f"replay reached {op} at {self.core.pc:#x}")
             self.state = CheckerState.SKIP
             return
-        needed = self._entries_needed(kind)
+        needed = MAL_ENTRIES_BY_KIND[kind_code]
         if needed and not self._entries_ready(needed):
             self._idle(1)
             return
         try:
-            self.core.step()
+            # Record-free fast path: replay needs only the architectural
+            # effects and cycle charge, not a CommitRecord.
+            self.core.exec_one()
         except VerificationMismatch as exc:
             self._fail(self._segment, str(exc))
             self.state = CheckerState.SKIP
@@ -359,17 +384,6 @@ class CheckerEngine:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
-
-    @staticmethod
-    def _entries_needed(kind: OpKind) -> int:
-        if kind in (OpKind.LOAD, OpKind.LR, OpKind.STORE):
-            return 1
-        if kind is OpKind.AMO:
-            return 2
-        # SC pops at most one entry but only when the reservation holds;
-        # requiring one delivered packet would deadlock on a failed SC,
-        # so it is allowed through and the port raises on true misses.
-        return 0
 
     def _entries_ready(self, needed: int) -> bool:
         now = self.core.stats.cycles

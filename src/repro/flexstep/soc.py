@@ -227,53 +227,32 @@ class FlexStepSoC:
     # co-simulation
     # ------------------------------------------------------------------
 
+    #: Max instructions/actions one core commits per arbitration round.
+    #: Within a round the chosen core only runs while it remains the
+    #: min-clock candidate (the ``horizon`` bound), so event ordering is
+    #: the same as the seed's one-instruction arbitration — the batch
+    #: just amortises the candidate scan over whole runs.
+    COSIM_BATCH = 256
+
     def run(self, *, max_instructions: int = 50_000_000,
             max_cycles: Optional[int] = None) -> SoCRunStats:
         """Run until every main/compute core halts and all checkers
-        drain.  Per-core local clocks advance in min-time order."""
+        drain.  Per-core local clocks advance in min-time order; each
+        arbitration round batch-advances the min-clock core to the next
+        synchronization point (see :meth:`advance`)."""
         executed = 0
         active_mains = {cid for cid, attr in enumerate(self.attrs)
                         if attr in (CoreAttr.MAIN, CoreAttr.COMPUTE)
                         and self.cores[cid].program is not None}
         while True:
-            runnable: list[int] = []
-            for cid in list(active_mains):
-                if self.cores[cid].halted:
-                    adapter = self._adapters.get(cid)
-                    if adapter is not None and adapter.enabled:
-                        adapter.disable()
-                        adapter.try_flush()
-                        if adapter.blocked:
-                            runnable.append(cid)
-                            continue
-                    active_mains.discard(cid)
-                else:
-                    runnable.append(cid)
-            checker_pending = []
-            for cid, engine in self._engines.items():
-                if not engine.busy:
-                    continue
-                main_id = self.interconnect.main_of(cid)
-                main_done = main_id is None or (
-                    main_id not in active_mains
-                    and not self._adapter_blocked(main_id))
-                if engine.drained and main_done:
-                    continue
-                checker_pending.append(cid)
-            if not runnable and not checker_pending:
-                break
-            candidates = runnable + checker_pending
-            cid = min(candidates, key=lambda c: self.cores[c].stats.cycles)
-            if cid in self._engines and cid in checker_pending:
-                self._engines[cid].step()
-            else:
-                executed += self._step_main(cid)
+            progressed, stop = self.advance(
+                min(self.COSIM_BATCH, max_instructions - executed + 1),
+                active_mains, max_cycles=max_cycles)
+            executed += progressed
             if executed > max_instructions:
                 raise ExecutionLimitExceeded(
                     f"SoC exceeded {max_instructions} instructions")
-            if max_cycles is not None and all(
-                    self.cores[c].stats.cycles >= max_cycles
-                    for c in candidates):
+            if stop:
                 break
         return SoCRunStats(
             main_cycles={cid: self.cores[cid].stats.cycles
@@ -286,29 +265,122 @@ class FlexStepSoC:
                                 for e in self._engines.values()),
         )
 
+    def advance(self, n: int, active_mains: set | None = None, *,
+                max_cycles: Optional[int] = None) -> tuple[int, bool]:
+        """One batched co-simulation round: arbitrate, then advance the
+        min-clock core by up to ``n`` instructions (or checker actions).
+
+        The chosen core runs only while its local clock stays below the
+        next-smallest candidate clock (the conservative horizon), so
+        cross-core event ordering matches single-instruction
+        arbitration.  Returns ``(progressed, stop)``: the committed
+        main/compute instructions, and whether co-simulation is over —
+        everything halted and drained, or every candidate passed
+        ``max_cycles``.  ``progressed`` is reported even on a stopping
+        round so the caller's instruction watchdog sees every commit.
+
+        ``active_mains`` carries the not-yet-finished main/compute set
+        across rounds; omit it for a standalone round.
+        """
+        if active_mains is None:
+            active_mains = {cid for cid, attr in enumerate(self.attrs)
+                            if attr in (CoreAttr.MAIN, CoreAttr.COMPUTE)
+                            and self.cores[cid].program is not None}
+        runnable: list[int] = []
+        for cid in list(active_mains):
+            if self.cores[cid].halted:
+                adapter = self._adapters.get(cid)
+                if adapter is not None and adapter.enabled:
+                    adapter.disable()
+                    adapter.try_flush()
+                    if adapter.blocked:
+                        runnable.append(cid)
+                        continue
+                active_mains.discard(cid)
+            else:
+                runnable.append(cid)
+        checker_pending = []
+        for cid, engine in self._engines.items():
+            if not engine.busy:
+                continue
+            main_id = self.interconnect.main_of(cid)
+            main_done = main_id is None or (
+                main_id not in active_mains
+                and not self._adapter_blocked(main_id))
+            if engine.drained and main_done:
+                continue
+            checker_pending.append(cid)
+        if not runnable and not checker_pending:
+            return 0, True
+        candidates = runnable + checker_pending
+        cid = min(candidates, key=lambda c: self.cores[c].stats.cycles)
+        if len(candidates) == 1:
+            horizon = None
+        else:
+            horizon = min(self.cores[c].stats.cycles
+                          for c in candidates if c != cid)
+        if max_cycles is not None:
+            horizon = max_cycles if horizon is None \
+                else min(horizon, max_cycles)
+        if cid in self._engines and cid in checker_pending:
+            self._engines[cid].advance(horizon, self.COSIM_BATCH)
+            progressed = 0
+        else:
+            progressed = self._advance_main(cid, horizon, n)
+        stop = max_cycles is not None and all(
+            self.cores[c].stats.cycles >= max_cycles
+            for c in candidates)
+        return progressed, stop
+
     def _adapter_blocked(self, main_id: int) -> bool:
         adapter = self._adapters.get(main_id)
         return adapter is not None and adapter.blocked
 
     def _step_main(self, cid: int) -> int:
         """Advance a main/compute core by one instruction or stall."""
+        return self._advance_main(cid, None, 1)
+
+    def _advance_main(self, cid: int, horizon: Optional[int],
+                      budget: int) -> int:
+        """Run a main/compute core for up to ``budget`` instructions.
+
+        Stops at the cycle ``horizon`` (where another candidate becomes
+        the arbitration minimum), at a halt, or at backpressure — a
+        blocked DBC charges one stall cycle only when nothing committed
+        this round, exactly like the seed's per-instruction arbitration,
+        and always yields so the checkers can drain.
+        """
         core = self.cores[cid]
         adapter = self._adapters.get(cid)
-        if adapter is not None and adapter.enabled:
-            if adapter.blocked:
-                adapter.try_flush()
+        if adapter is None and not core._hooks and horizon is None:
+            # Sole candidate, no FlexStep units attached: the core
+            # cannot interact with anything mid-round, so take the
+            # record-free block-dispatch path.
+            return core.advance(budget)
+        done = 0
+        while done < budget:
+            if adapter is not None and adapter.enabled:
                 if adapter.blocked:
-                    core.stats.cycles += 1
-                    core.stats.stall_cycles += 1
-                    adapter.stats.backpressure_stall_cycles += 1
-                    return 0
-            adapter.before_step()
-        if core.halted:
-            return 0
-        core.step()
-        if adapter is not None:
-            adapter.try_flush()
-        return 1
+                    adapter.try_flush()
+                    if adapter.blocked:
+                        if done == 0:
+                            core.stats.cycles += 1
+                            core.stats.stall_cycles += 1
+                            adapter.stats.backpressure_stall_cycles += 1
+                        break
+                adapter.before_step()
+            if core.halted:
+                break
+            if adapter is None:
+                # exec_one falls back to step() itself when hooks exist
+                core.exec_one()
+            else:
+                core.step()
+                adapter.try_flush()
+            done += 1
+            if horizon is not None and core.stats.cycles >= horizon:
+                break
+        return done
 
     # ------------------------------------------------------------------
     # results

@@ -43,6 +43,11 @@ class OpKind(enum.Enum):
     HALT = "halt"        # stop the hart (simulation convenience)
 
 
+#: Dense integer code per OpKind, for table-driven dispatch on hot paths
+#: (byte-array friendly; enum identity checks cost a dict hash each).
+KIND_CODES: dict[OpKind, int] = {kind: i for i, kind in enumerate(OpKind)}
+
+
 @dataclass(frozen=True)
 class OpInfo:
     """Static properties of one operation."""

@@ -51,6 +51,11 @@ class Program:
         self.base = base
         self.entry = entry if entry is not None else base
         self.name = name
+        #: Decode artefacts keyed by timing parameters, so each program is
+        #: decoded once per core configuration and every core (main,
+        #: checker, lockstep shadow) sharing it reuses the same kernels.
+        #: See :mod:`repro.core.decode`.
+        self.decode_cache: dict = {}
         if base % INST_BYTES != 0:
             raise IsaError(f"program base {base:#x} not aligned")
 

@@ -1,0 +1,234 @@
+"""Execution-engine performance harness.
+
+Measures instructions/second of the simulator's two execution engines —
+the seed string-keyed interpreter (``interp``) and the decoded-dispatch
+engine (``decoded``, see :mod:`repro.core.decode`) — over the synthetic
+workload mix, and records the trajectory in ``BENCH_engine.json`` so
+every future PR can report its speedup against the same baseline.
+
+Each measurement runs one workload program to completion on a bare core
+(direct memory port, no L1I model: the configuration the 5× target is
+defined against), checks that both engines finish in bit-identical
+architectural state, and reports the best of ``repeats`` timings.
+Decode happens once per program and is reported separately
+(``decode_seconds``) rather than smeared into the per-instruction rate,
+matching production use where a program is decoded once and executed
+for millions of instructions.
+
+Environment knobs (all optional):
+
+=================================  ====================================
+``REPRO_BENCH_ENGINE_INSTRUCTIONS``  target instructions per workload
+``REPRO_BENCH_ENGINE_REPEATS``       timing repeats per engine
+``REPRO_BENCH_ENGINE_WORKLOADS``     comma-separated workload names
+``REPRO_BENCH_MIN_SPEEDUP``          pass/fail threshold for the bench
+=================================  ====================================
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .config import CoreConfig
+from .core import Core, DirectPort, MainMemory, CSR_MTVEC
+from .core.decode import decode_program
+from .workloads.generator import (
+    GeneratorOptions,
+    build_program,
+    trap_handler_address,
+)
+from .workloads.profiles import get_profile
+
+#: Default workload mix: spans memory density 0.18-0.35, branchy and
+#: straight-line code, mul-heavy and syscall-heavy profiles.
+DEFAULT_WORKLOADS: tuple[str, ...] = (
+    "blackscholes", "dedup", "mcf", "hmmer", "x264",
+)
+
+#: Default benchmark file, relative to the repository root.
+BENCH_FILE = "BENCH_engine.json"
+
+_ENV_INSTRUCTIONS = "REPRO_BENCH_ENGINE_INSTRUCTIONS"
+_ENV_REPEATS = "REPRO_BENCH_ENGINE_REPEATS"
+_ENV_WORKLOADS = "REPRO_BENCH_ENGINE_WORKLOADS"
+_ENV_MIN_SPEEDUP = "REPRO_BENCH_MIN_SPEEDUP"
+
+
+def default_instructions() -> int:
+    return int(os.environ.get(_ENV_INSTRUCTIONS, "120000"))
+
+
+def default_repeats() -> int:
+    return int(os.environ.get(_ENV_REPEATS, "3"))
+
+
+def default_workloads() -> tuple[str, ...]:
+    raw = os.environ.get(_ENV_WORKLOADS, "")
+    if not raw.strip():
+        return DEFAULT_WORKLOADS
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+def min_speedup_threshold(default: float = 5.0) -> float:
+    return float(os.environ.get(_ENV_MIN_SPEEDUP, str(default)))
+
+
+@dataclass
+class EngineMeasurement:
+    """One engine timed over one workload program."""
+
+    workload: str
+    engine: str
+    instructions: int
+    seconds: float
+    #: Fingerprint of the final architectural state + counters, used to
+    #: assert both engines computed the same execution.
+    state: tuple = field(default_factory=tuple, repr=False)
+
+    @property
+    def ips(self) -> float:
+        return self.instructions / self.seconds if self.seconds else 0.0
+
+
+def _run_once(program, engine: str,
+              max_instructions: int) -> EngineMeasurement:
+    memory = MainMemory()
+    memory.load_segment(program.data.words)
+    core = Core(0, CoreConfig(), DirectPort(memory), engine=engine)
+    core.load_program(program)
+    handler = trap_handler_address(program)
+    if handler is not None:
+        core.csrs.raw_write(CSR_MTVEC, handler)
+    start = time.perf_counter()
+    stats = core.run(max_instructions)
+    seconds = time.perf_counter() - start
+    snap = core.snapshot()
+    state = (snap.words(), stats.instructions, stats.user_instructions,
+             stats.cycles, stats.memory_ops, stats.traps,
+             tuple(sorted(memory._words.items())))
+    return EngineMeasurement(workload=program.name, engine=engine,
+                             instructions=stats.instructions,
+                             seconds=seconds, state=state)
+
+
+def measure_workload(name: str, *, target_instructions: int | None = None,
+                     repeats: int | None = None) -> dict:
+    """Benchmark both engines on one workload; returns a result row.
+
+    Raises :class:`AssertionError` if the engines disagree on any
+    architectural state, stats counter or memory word — the throughput
+    number of a wrong simulation is meaningless.
+    """
+    target = target_instructions or default_instructions()
+    reps = repeats or default_repeats()
+    program = build_program(
+        get_profile(name), GeneratorOptions(target_instructions=target))
+    budget = max(10_000_000, target * 4)
+
+    decode_start = time.perf_counter()
+    decode_program(program, CoreConfig())
+    decode_seconds = time.perf_counter() - decode_start
+
+    best: dict[str, EngineMeasurement] = {}
+    for _ in range(reps):
+        for engine in ("interp", "decoded"):
+            m = _run_once(program, engine, budget)
+            prev = best.get(engine)
+            if prev is None or m.seconds < prev.seconds:
+                best[engine] = m
+    interp, decoded = best["interp"], best["decoded"]
+    assert interp.state == decoded.state, (
+        f"{name}: engines diverged (differential failure)")
+    return {
+        "workload": name,
+        "instructions": decoded.instructions,
+        "decode_seconds": round(decode_seconds, 6),
+        "interp_ips": round(interp.ips, 1),
+        "decoded_ips": round(decoded.ips, 1),
+        "speedup": round(decoded.ips / interp.ips, 3) if interp.ips else 0.0,
+    }
+
+
+def _geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def run_engine_benchmark(workloads: Sequence[str] | None = None, *,
+                         target_instructions: int | None = None,
+                         repeats: int | None = None,
+                         label: str = "") -> dict:
+    """Run the full engine benchmark; returns one trajectory record."""
+    names = tuple(workloads) if workloads else default_workloads()
+    rows = [measure_workload(name, target_instructions=target_instructions,
+                             repeats=repeats) for name in names]
+    record = {
+        "bench": "engine",
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "label": label,
+        "target_instructions": target_instructions
+        or default_instructions(),
+        "repeats": repeats or default_repeats(),
+        "workloads": rows,
+        "interp_ips_geomean": round(
+            _geomean(r["interp_ips"] for r in rows), 1),
+        "decoded_ips_geomean": round(
+            _geomean(r["decoded_ips"] for r in rows), 1),
+        "speedup_geomean": round(
+            _geomean(r["speedup"] for r in rows), 3),
+        "speedup_min": round(min(r["speedup"] for r in rows), 3),
+    }
+    return record
+
+
+def format_record(record: dict) -> str:
+    """Human-readable table for one benchmark record."""
+    lines = [
+        "Engine throughput: decoded-dispatch vs seed interpreter",
+        f"{'workload':<14s} {'interp':>12s} {'decoded':>12s} {'speedup':>9s}",
+    ]
+    for row in record["workloads"]:
+        lines.append(
+            f"{row['workload']:<14s} {row['interp_ips']:>10.0f}/s "
+            f"{row['decoded_ips']:>10.0f}/s {row['speedup']:>8.2f}x")
+    lines.append(
+        f"{'geomean':<14s} {record['interp_ips_geomean']:>10.0f}/s "
+        f"{record['decoded_ips_geomean']:>10.0f}/s "
+        f"{record['speedup_geomean']:>8.2f}x")
+    return "\n".join(lines)
+
+
+def repo_root() -> Path:
+    """The repository root (two levels above this package)."""
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def load_trajectory(path: str | os.PathLike | None = None) -> dict:
+    """Read the benchmark trajectory file (empty skeleton if absent)."""
+    bench_path = Path(path) if path else repo_root() / BENCH_FILE
+    if not bench_path.exists():
+        return {"bench": "engine", "records": []}
+    with open(bench_path) as fh:
+        return json.load(fh)
+
+
+def append_record(record: dict,
+                  path: str | os.PathLike | None = None) -> Path:
+    """Append ``record`` to the trajectory file; returns its path."""
+    bench_path = Path(path) if path else repo_root() / BENCH_FILE
+    trajectory = load_trajectory(bench_path)
+    trajectory["records"].append(record)
+    with open(bench_path, "w") as fh:
+        json.dump(trajectory, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return bench_path

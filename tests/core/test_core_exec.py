@@ -74,6 +74,37 @@ class TestAluSemantics:
         assert to_signed64(core.regs.read(3)) == q
         assert to_signed64(core.regs.read(4)) == r
 
+    @pytest.mark.parametrize("engine", ["interp", "decoded"])
+    @pytest.mark.parametrize("a,b", [
+        ((1 << 62) + 12345, 3),            # beyond float53 precision
+        ((1 << 63) - 1, 7),                # INT64_MAX
+        (-(1 << 63), 3),                   # INT64_MIN
+        (-(1 << 63), -1),                  # RISC-V overflow case
+        ((1 << 63) - 1, -(1 << 63)),
+        ((1 << 53) + 1, 1),                # first float-unrepresentable
+    ])
+    def test_div_rem_64bit_boundary(self, engine, a, b):
+        """int(a / b) went through a float and corrupted quotients
+        beyond 2**53; pure integer division must be exact."""
+        prog = assemble(f"""
+            li x1, {a}
+            li x2, {b}
+            div x3, x1, x2
+            rem x4, x1, x2
+            halt
+        """)
+        core = Core(0, CoreConfig(), DirectPort(MainMemory()),
+                    engine=engine)
+        core.load_program(prog)
+        core.run()
+        # Python // floors; RISC-V truncates toward zero.
+        expect_q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            expect_q = -expect_q
+        expect_r = a - expect_q * b
+        assert to_signed64(core.regs.read(3)) == to_signed64(expect_q)
+        assert to_signed64(core.regs.read(4)) == to_signed64(expect_r)
+
     def test_div_by_zero_riscv_semantics(self):
         core, _ = run_src("""
             li x1, 5
@@ -234,6 +265,89 @@ class TestControlFlow:
             halt
         """)
         assert core.regs.read(3) == (1 if taken else 0)
+
+    @pytest.mark.parametrize("engine", ["interp", "decoded"])
+    def test_jalr_call_path(self, engine):
+        """jalr with rd != 0 is a call: writes the link register."""
+        prog = assemble("""
+            li x5, 16          # address of target
+            jalr x3, x5, 0
+            li x1, 111         # skipped
+            halt
+        target:
+            li x1, 222
+            halt
+        """)
+        core = Core(0, CoreConfig(), DirectPort(MainMemory()),
+                    engine=engine)
+        core.load_program(prog)
+        core.run()
+        assert core.regs.read(1) == 222
+        assert core.regs.read(3) == 8   # pc of jalr + 4
+
+    @pytest.mark.parametrize("engine", ["interp", "decoded"])
+    def test_jalr_return_path_uses_ras(self, engine):
+        """jalr x0, x1 is a return: predicted via the RAS, no penalty
+        when the call/return pair matches."""
+        prog = assemble("""
+        main:
+            li x10, 5
+            call double
+            call double
+            halt
+        double:
+            add x10, x10, x10
+            ret
+        """)
+        core = Core(0, CoreConfig(), DirectPort(MainMemory()),
+                    engine=engine)
+        core.load_program(prog)
+        core.run()
+        assert core.regs.read(10) == 20
+        # Matched call/return pairs: the RAS predicts both returns, the
+        # BTB never trains on them.
+        assert core.predictor._btb == {}
+
+    @pytest.mark.parametrize("engine", ["interp", "decoded"])
+    def test_jalr_call_with_rd_equal_rs1(self, engine):
+        """The target is computed before the link write clobbers rs1."""
+        prog = assemble("""
+            li x5, 16
+            jalr x5, x5, 0
+            li x1, 111         # skipped
+            halt
+        target:
+            halt
+        """)
+        core = Core(0, CoreConfig(), DirectPort(MainMemory()),
+                    engine=engine)
+        core.load_program(prog)
+        core.run()
+        assert core.regs.read(1) == 0
+        assert core.regs.read(5) == 8   # link, not the old target
+
+    @pytest.mark.parametrize("engine", ["interp", "decoded"])
+    def test_jalr_indirect_writes_rd_exactly_once(self, engine):
+        """Plain indirect jump (rd=0, rs1!=ra) must not write anything;
+        the seed had a dead duplicated rd write on this path."""
+        prog = assemble("""
+            li x5, 12
+            jr x5              # jalr x0, x5, 0
+            halt
+        target:
+            li x2, 7
+            halt
+        """)
+        core = Core(0, CoreConfig(), DirectPort(MainMemory()),
+                    engine=engine)
+        core.load_program(prog)
+        records = []
+        core.add_commit_hook(records.append)
+        core.run()
+        assert core.regs.read(2) == 7
+        jalr_rec = [r for r in records if r.inst.op == "jalr"][0]
+        assert jalr_rec.next_pc == 12
+        assert core.regs.read(0) == 0
 
     def test_bltu_unsigned_negative(self):
         core, _ = run_src("""

@@ -1,0 +1,203 @@
+"""Decoded-dispatch engine mechanics: blocks, caching, fast paths.
+
+Semantic equivalence with the interpreter is covered by
+``test_differential_engine.py``; this module pins down the engine's own
+contract — decode caching, the batched ``advance``/``exec_one`` paths,
+and exception behaviour mid-block.
+"""
+
+import pytest
+
+from repro.config import CoreConfig
+from repro.core import Core, DirectPort, MainMemory, Privilege
+from repro.core.decode import BLOCK_CAP, decode_program
+from repro.errors import (
+    ExecutionLimitExceeded,
+    IllegalInstructionError,
+    IsaError,
+    MemoryAccessError,
+    PrivilegeError,
+)
+from repro.isa import assemble
+
+
+def _core(prog, **kw):
+    mem = MainMemory()
+    mem.load_segment(prog.data.words)
+    core = Core(0, CoreConfig(), DirectPort(mem), **kw)
+    core.load_program(prog)
+    return core, mem
+
+
+class TestDecodeCache:
+    def test_decode_is_shared_across_cores(self):
+        prog = assemble("nop\nnop\nhalt")
+        cfg = CoreConfig()
+        assert decode_program(prog, cfg) is decode_program(prog, cfg)
+        assert len(prog.decode_cache) == 1
+
+    def test_distinct_timing_decodes_separately(self):
+        import dataclasses
+        prog = assemble("nop\nhalt")
+        cfg = CoreConfig()
+        slow = dataclasses.replace(cfg, div_latency_cycles=99)
+        assert decode_program(prog, cfg) is not decode_program(prog, slow)
+        assert len(prog.decode_cache) == 2
+
+    def test_blocks_cover_program(self):
+        prog = assemble("\n".join(["addi x1, x1, 1"] * 10
+                                  + ["beq x1, x0, 8", "nop", "halt"]))
+        d = decode_program(prog, CoreConfig())
+        assert len(d.blocks) == len(prog.instructions)
+        # Slot 0's block runs the straight line through the branch.
+        assert d.block_lens[0] == 11
+        # A block entered mid-run is its own (shorter) block.
+        assert d.block_lens[5] == 6
+        assert all(length <= BLOCK_CAP for length in d.block_lens)
+
+
+class TestAdvance:
+    def test_advance_respects_budget_exactly(self):
+        prog = assemble("\n".join(["addi x1, x1, 1"] * 50 + ["halt"]))
+        core, _ = _core(prog)
+        assert core.advance(7) == 7
+        assert core.stats.instructions == 7
+        assert core.regs.read(1) == 7
+        assert core.pc == 28
+        assert core.advance(1000) == 44   # the rest + halt
+        assert core.halted
+
+    def test_advance_zero_or_halted(self):
+        prog = assemble("halt")
+        core, _ = _core(prog)
+        assert core.advance(0) == 0
+        assert core.advance(5) == 1
+        assert core.advance(5) == 0       # halted: no-op, no raise
+
+    def test_run_watchdog_parity(self):
+        prog = assemble("loop:\nj loop")
+        for engine in ("interp", "decoded"):
+            core, _ = _core(prog, engine=engine)
+            with pytest.raises(ExecutionLimitExceeded):
+                core.run(max_instructions=100)
+            assert core.stats.instructions == 101
+
+    def test_interrupt_taken_at_batch_boundary(self):
+        prog = assemble("""
+        main:
+            li x1, 1
+            li x2, 2
+            halt
+        _trap_handler:
+            li x30, 9
+            mret
+        """)
+        core, _ = _core(prog)
+        from repro.core import CSR_MTVEC
+        core.csrs.raw_write(CSR_MTVEC, prog.labels["_trap_handler"])
+        core.advance(1)
+        core.raise_interrupt(cause=7)
+        core.advance(1)                   # takes the interrupt
+        assert core.stats.traps == 1
+        assert core.priv is Privilege.KERNEL
+        core.run()
+        assert core.regs.read(30) == 9
+        assert core.regs.read(2) == 2
+
+    def test_advance_with_hooks_matches_step_path(self):
+        prog = assemble("\n".join(["addi x1, x1, 1"] * 5 + ["halt"]))
+        core, _ = _core(prog)
+        seen = []
+        core.add_commit_hook(seen.append)
+        assert core.advance(100) == 6
+        assert len(seen) == 6
+        assert [r.pc for r in seen] == [0, 4, 8, 12, 16, 20]
+
+    def test_advance_without_program_raises(self):
+        core = Core(0, CoreConfig(), DirectPort(MainMemory()))
+        with pytest.raises(IllegalInstructionError):
+            core.advance(10)
+
+    def test_runaway_pc_raises_canonical_error(self):
+        prog = assemble("nop\nnop")        # no halt: falls off the end
+        for engine in ("interp", "decoded"):
+            core, _ = _core(prog, engine=engine)
+            with pytest.raises(IsaError, match="outside program"):
+                core.run(100)
+            assert core.stats.instructions == 2
+
+
+class TestMidBlockExceptions:
+    def test_memory_fault_mid_block_settles_stats(self):
+        # Three ALU ops, then a load far outside memory — all fused
+        # into one block kernel.
+        prog = assemble("""
+            addi x1, x0, 1
+            addi x2, x0, 2
+            addi x3, x0, 3
+            li   x4, -8
+            ld   x5, 0(x4)
+            halt
+        """)
+        core, _ = _core(prog)
+        with pytest.raises(MemoryAccessError):
+            core.run(100)
+        # Exactly the four committed instructions are accounted, the
+        # faulting load is not, and pc sits on the faulting slot.
+        assert core.stats.instructions == 4
+        assert core.stats.memory_ops == 0
+        assert core.csrs.raw_read(0xC02) == 4
+        assert core.pc == 16
+        assert core.regs.read(3) == 3
+        assert core.regs.read(5) == 0
+
+    def test_csr_privilege_fault_mid_block(self):
+        prog = assemble("""
+            addi x1, x0, 7
+            csrrw x2, 0x340, x1
+            halt
+        """)
+        for engine in ("interp", "decoded"):
+            core, _ = _core(prog, engine=engine)
+            with pytest.raises(PrivilegeError):
+                core.run(100)
+            assert core.stats.instructions == 1, engine
+            assert core.pc == 4, engine
+
+    def test_mret_from_user_mid_block(self):
+        prog = assemble("addi x1, x0, 1\nmret\nhalt")
+        core, _ = _core(prog)
+        with pytest.raises(PrivilegeError):
+            core.run(100)
+        assert core.stats.instructions == 1
+        assert core.pc == 4
+
+
+class TestExecOne:
+    def test_exec_one_matches_step_accounting(self):
+        src = "li x1, 3\nli x2, 4\nmul x3, x1, x2\nsd x3, 0x100(x0)\nhalt"
+        a, _ = _core(assemble(src))
+        b, _ = _core(assemble(src))
+        cycles_a = []
+        while not a.halted:
+            cycles_a.append(a.exec_one())
+        cycles_b = []
+        while not b.halted:
+            cycles_b.append(b.step().cycles)
+        assert cycles_a == cycles_b
+        assert a.stats == b.stats
+        assert a.snapshot().diff(b.snapshot()) == []
+        assert a.csrs.raw_read(0xC02) == b.csrs.raw_read(0xC02)
+
+    def test_peek_kind_code(self):
+        from repro.core.decode import K_HALT, K_LOAD
+        prog = assemble("ld x1, 0x100(x0)\nhalt")
+        core, _ = _core(prog)
+        assert core.peek_kind_code() == K_LOAD
+        core.exec_one()
+        assert core.peek_kind_code() == K_HALT
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            Core(0, CoreConfig(), DirectPort(MainMemory()),
+                 engine="turbo")

@@ -1,0 +1,209 @@
+"""Differential testing: decoded-dispatch engine vs seed interpreter.
+
+Randomized programs run on both execution engines and every observable
+must be bit-identical: final :class:`ArchSnapshot`, the commit-ordered
+:class:`MemEntry` stream, per-commit cycle counts, memory contents,
+``instret`` and all :class:`CoreStats` counters.  Three comparisons per
+program:
+
+* ``interp`` ``step()``  — the seed reference,
+* ``decoded`` ``step()`` — kernel dispatch with CommitRecords (hooks),
+* ``decoded`` ``run()``  — the record-free block-dispatch fast path.
+"""
+
+import random
+
+import pytest
+
+from repro.config import CoreConfig
+from repro.core import Core, DirectPort, MainMemory, CSR_MTVEC
+from repro.isa import assemble
+from repro.isa.instructions import OPS, OpKind
+from repro.isa.program import DataSegment, Program
+from repro.isa.instructions import Instruction
+
+from ..conftest import make_ecall_program, make_sum_program
+
+#: Registers the generator uses for data (x1 reserved as link register,
+#: x6 as the memory base, x31 for jalr targets).
+_DATA_REGS = (2, 3, 4, 5, 7, 8, 9, 10)
+_MEM_BASE = 0x1000
+_MEM_WORDS = 64
+
+
+def _random_program(seed: int, length: int = 400) -> Program:
+    """A random but well-formed program: ALU/mul/div dataflow, memory
+    traffic confined to a small window, forward branches, calls and
+    returns, CSR reads of instret/cycle, ending in a halt."""
+    rng = random.Random(seed)
+    insts: list[Instruction] = []
+
+    def r_data():
+        return rng.choice(_DATA_REGS)
+
+    # Seed the data registers with interesting 64-bit patterns.
+    for i, reg in enumerate(_DATA_REGS):
+        insts.append(Instruction("addi", rd=reg, rs1=0,
+                                 imm=rng.choice([
+                                     rng.randrange(-2048, 2048),
+                                     (1 << 62) + rng.randrange(1 << 32),
+                                     -(1 << 63),
+                                     (1 << 63) - 1,
+                                 ])))
+    insts.append(Instruction("addi", rd=6, rs1=0, imm=_MEM_BASE))
+
+    alu_rr = [n for n, i in OPS.items()
+              if i.kind is OpKind.ALU and not i.has_imm and n != "nop"]
+    alu_ri = [n for n, i in OPS.items()
+              if i.kind is OpKind.ALU and i.has_imm]
+    amos = [n for n, i in OPS.items() if i.kind is OpKind.AMO]
+    branches = [n for n, i in OPS.items() if i.kind is OpKind.BRANCH]
+
+    while len(insts) < length:
+        roll = rng.random()
+        if roll < 0.35:
+            insts.append(Instruction(rng.choice(alu_rr), rd=r_data(),
+                                     rs1=r_data(), rs2=r_data()))
+        elif roll < 0.50:
+            op = rng.choice(alu_ri)
+            imm = rng.randrange(0, 63) if op in ("slli", "srli", "srai") \
+                else rng.randrange(-2048, 2048)
+            insts.append(Instruction(op, rd=r_data(), rs1=r_data(),
+                                     imm=imm))
+        elif roll < 0.58:
+            op = rng.choice(["mul", "div", "rem"])
+            insts.append(Instruction(op, rd=r_data(), rs1=r_data(),
+                                     rs2=r_data()))
+        elif roll < 0.74:
+            # Memory op at a masked in-window address: x8 = base + off.
+            off = rng.randrange(_MEM_WORDS) * 8
+            insts.append(Instruction("addi", rd=8, rs1=6, imm=off))
+            mem_roll = rng.random()
+            if mem_roll < 0.45:
+                insts.append(Instruction("ld", rd=r_data(), rs1=8))
+            elif mem_roll < 0.80:
+                insts.append(Instruction("sd", rs1=8, rs2=r_data()))
+            elif mem_roll < 0.90:
+                insts.append(Instruction(rng.choice(amos), rd=r_data(),
+                                         rs1=8, rs2=r_data()))
+            else:
+                insts.append(Instruction("lr", rd=r_data(), rs1=8))
+                if rng.random() < 0.7:
+                    insts.append(Instruction("sc", rd=r_data(), rs1=8,
+                                             rs2=r_data()))
+        elif roll < 0.86:
+            # Forward branch skipping 1-3 instructions (fillers follow,
+            # so the target always lands inside the program).
+            skip = rng.randrange(1, 4)
+            insts.append(Instruction(rng.choice(branches), rs1=r_data(),
+                                     rs2=r_data(), imm=4 * (skip + 1)))
+            for _ in range(skip):
+                insts.append(Instruction("addi", rd=r_data(), rs1=r_data(),
+                                         imm=rng.randrange(-64, 64)))
+        elif roll < 0.92:
+            # jal over one filler (forward, with/without link).
+            rd = rng.choice([0, 1])
+            insts.append(Instruction("jal", rd=rd, imm=8))
+            insts.append(Instruction("addi", rd=r_data(), rs1=r_data(),
+                                     imm=1))
+        elif roll < 0.96:
+            # Computed jalr to the next-next slot; exercises the BTB
+            # (and the RAS when rd == x1).
+            target = (len(insts) + 2) * 4
+            insts.append(Instruction("addi", rd=31, rs1=0, imm=target))
+            insts.append(Instruction("jalr", rd=rng.choice([0, 1]),
+                                     rs1=31))
+        else:
+            # User-readable CSR reads: instret (0xC02) / cycle (0xC00)
+            # catch any retired-instruction accounting drift.
+            insts.append(Instruction("csrrs", rd=r_data(), rs1=0,
+                                     imm=rng.choice([0xC00, 0xC02])))
+    insts.append(Instruction("halt"))
+
+    data = DataSegment()
+    for w in range(_MEM_WORDS):
+        data.set_word(_MEM_BASE + 8 * w, rng.getrandbits(64))
+    return Program(insts, data=data, name=f"differential-{seed}")
+
+
+def _execute(program: Program, engine: str, *, via: str = "step"):
+    """Run ``program``; returns (snapshot, commit trace, stats, memory).
+
+    ``via="step"`` drives single steps and records per-commit
+    (pc, next_pc, cycles, mem_ops) through a commit hook; ``via="run"``
+    uses the batched fast path (no records available).
+    """
+    memory = MainMemory()
+    memory.load_segment(program.data.words)
+    core = Core(0, CoreConfig(), DirectPort(memory), engine=engine)
+    core.load_program(program)
+    handler = program.labels.get("_trap_handler")
+    if handler is not None:
+        core.csrs.raw_write(CSR_MTVEC, handler)
+    trace = []
+    if via == "step":
+        core.add_commit_hook(
+            lambda rec: trace.append(
+                (rec.pc, rec.next_pc, rec.cycles, rec.trap,
+                 tuple((e.kind, e.addr, e.data) for e in rec.mem_ops))))
+        while not core.halted:
+            core.step()
+    else:
+        core.run(2_000_000)
+    stats = core.stats
+    counters = (stats.instructions, stats.user_instructions, stats.cycles,
+                stats.stall_cycles, stats.traps, stats.memory_ops,
+                core.csrs.raw_read(0xC02))
+    return (core.snapshot(), trace, counters,
+            tuple(sorted(memory._words.items())))
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_programs_bit_identical(seed):
+    program = _random_program(seed)
+    ref_snap, ref_trace, ref_counters, ref_mem = _execute(
+        program, "interp", via="step")
+    dec_snap, dec_trace, dec_counters, dec_mem = _execute(
+        program, "decoded", via="step")
+    assert dec_snap.diff(ref_snap) == []
+    assert dec_trace == ref_trace
+    assert dec_counters == ref_counters
+    assert dec_mem == ref_mem
+    # The record-free block-dispatch path must land in the same state.
+    fast_snap, _, fast_counters, fast_mem = _execute(
+        program, "decoded", via="run")
+    assert fast_snap.diff(ref_snap) == []
+    assert fast_counters == ref_counters
+    assert fast_mem == ref_mem
+
+
+@pytest.mark.parametrize("make_prog", [make_sum_program,
+                                       make_ecall_program])
+def test_fixture_programs_bit_identical(make_prog):
+    """Loops and privilege round-trips match across engines too."""
+    program = make_prog()
+    ref = _execute(program, "interp", via="step")
+    dec = _execute(program, "decoded", via="step")
+    fast = _execute(program, "decoded", via="run")
+    assert dec[0].diff(ref[0]) == []
+    assert dec[1] == ref[1]
+    assert dec[2] == ref[2] == fast[2]
+    assert dec[3] == ref[3] == fast[3]
+    assert fast[0].diff(ref[0]) == []
+
+
+def test_workload_generator_programs_bit_identical():
+    """The paper's synthetic workload mix, both engines, both modes."""
+    from repro.workloads.generator import GeneratorOptions, build_program
+    from repro.workloads.profiles import get_profile
+    for name, mode in (("dedup", "plain"), ("hmmer", "nzdc")):
+        program = build_program(
+            get_profile(name),
+            GeneratorOptions(target_instructions=8000, mode=mode))
+        ref = _execute(program, "interp", via="step")
+        dec = _execute(program, "decoded", via="step")
+        fast = _execute(program, "decoded", via="run")
+        assert dec[0].diff(ref[0]) == [], (name, mode)
+        assert dec[1] == ref[1], (name, mode)
+        assert dec[2] == ref[2] == fast[2], (name, mode)
+        assert dec[3] == ref[3] == fast[3], (name, mode)
