@@ -1,14 +1,23 @@
 #!/usr/bin/env python
 """Headless perf-bench entry point.
 
-Runs the execution-engine benchmark (``repro.perfbench``) outside
-pytest and appends a timestamped record to ``BENCH_engine.json``, so a
-PR can report its speedup with one command::
+Runs one of the repo's benchmarks outside pytest and appends a
+timestamped record to its trajectory file, so a PR can report its
+speedup with one command::
 
     python scripts/bench.py --label "PR 1: decoded dispatch"
+    python scripts/bench.py --bench campaign --label "PR 2: fan-out"
 
-Defaults come from the ``REPRO_BENCH_ENGINE_*`` environment variables
-(see ``repro/perfbench.py``); flags override the environment.
+``--bench engine`` (default) measures execution-engine throughput into
+``BENCH_engine.json``; ``--bench campaign`` measures the Fig. 5 sweep
+under the parallel campaign engine into ``BENCH_campaign.json``.
+
+Defaults come from the ``REPRO_BENCH_*`` environment variables (see
+``repro/perfbench.py`` and ``repro/campaign/bench.py``); flags override
+the environment.  Campaign wall-clock assertions only gate the exit
+code when ``REPRO_BENCH_STRICT`` is set (single-core CI runners cannot
+show a multiprocessing speedup); the serial-vs-parallel bit-identity
+check always gates.
 """
 
 from __future__ import annotations
@@ -22,34 +31,10 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro import perfbench  # noqa: E402  (needs the sys.path insert)
+from repro.campaign import bench as campaign_bench  # noqa: E402
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Run the execution-engine benchmark and append the "
-                    "record to the perf trajectory file.")
-    parser.add_argument(
-        "--workloads", default=None,
-        help="comma-separated workload names "
-             f"(default: {','.join(perfbench.DEFAULT_WORKLOADS)})")
-    parser.add_argument(
-        "--instructions", type=int, default=None,
-        help="target instructions per workload "
-             f"(default {perfbench.default_instructions()})")
-    parser.add_argument(
-        "--repeats", type=int, default=None,
-        help=f"timing repeats (default {perfbench.default_repeats()})")
-    parser.add_argument(
-        "--label", default=os.environ.get("REPRO_BENCH_LABEL", ""),
-        help="free-form tag stored with the record (e.g. the PR title)")
-    parser.add_argument(
-        "--output", default=None,
-        help=f"trajectory file (default <repo>/{perfbench.BENCH_FILE})")
-    parser.add_argument(
-        "--dry-run", action="store_true",
-        help="print the record without writing the trajectory file")
-    args = parser.parse_args(argv)
-
+def _run_engine(args: argparse.Namespace) -> int:
     workloads = None
     if args.workloads:
         workloads = [w.strip() for w in args.workloads.split(",")
@@ -60,7 +45,7 @@ def main(argv: list[str] | None = None) -> int:
     print(perfbench.format_record(record))
     if args.dry_run:
         return 0
-    path = perfbench.append_record(record, args.output)
+    path = perfbench.append_record(record, args.output, bench="engine")
     print(f"\nappended record to {path}")
     threshold = perfbench.min_speedup_threshold(5.0)
     if record["speedup_geomean"] < threshold:
@@ -68,6 +53,86 @@ def main(argv: list[str] | None = None) -> int:
               f"below the {threshold}x target", file=sys.stderr)
         return 1
     return 0
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    configs = None
+    if args.configs:
+        configs = [key.strip() for key in args.configs.split(",")
+                   if key.strip()]
+    record = campaign_bench.run_campaign_benchmark(
+        configs=configs, sets_per_point=args.sets, workers=args.workers,
+        label=args.label)
+    print(campaign_bench.format_record(record))
+    status = 0
+    if not (record["bit_identical"] and record["replay_identical"]):
+        print("ERROR: parallel/cached curves diverge from the serial "
+              "sweep — determinism regression", file=sys.stderr)
+        status = 1
+    threshold = campaign_bench.min_campaign_speedup(4.0)
+    if record["speedup"] < threshold:
+        if campaign_bench.strict_enabled():
+            print(f"ERROR: campaign speedup {record['speedup']}x below "
+                  f"the {threshold}x target (REPRO_BENCH_STRICT set)",
+                  file=sys.stderr)
+            status = 1
+        else:
+            print(f"note: campaign speedup {record['speedup']}x below "
+                  f"the {threshold}x target on this host "
+                  f"(cpu_count={record['cpu_count']}); set "
+                  "REPRO_BENCH_STRICT=1 to make this fatal",
+                  file=sys.stderr)
+    if args.dry_run:
+        return status
+    path = perfbench.append_record(record, args.output, bench="campaign")
+    print(f"\nappended record to {path}")
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run a repo benchmark and append the record to its "
+                    "perf trajectory file.")
+    parser.add_argument(
+        "--bench", choices=("engine", "campaign"), default="engine",
+        help="which benchmark to run (default: engine)")
+    parser.add_argument(
+        "--label", default=os.environ.get("REPRO_BENCH_LABEL", ""),
+        help="free-form tag stored with the record (e.g. the PR title)")
+    parser.add_argument(
+        "--output", default=None,
+        help="trajectory file (default <repo>/BENCH_<bench>.json)")
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="print the record without writing the trajectory file")
+    engine = parser.add_argument_group("engine bench")
+    engine.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workload names "
+             f"(default: {','.join(perfbench.DEFAULT_WORKLOADS)})")
+    engine.add_argument(
+        "--instructions", type=int, default=None,
+        help="target instructions per workload "
+             f"(default {perfbench.default_instructions()})")
+    engine.add_argument(
+        "--repeats", type=int, default=None,
+        help=f"timing repeats (default {perfbench.default_repeats()})")
+    campaign = parser.add_argument_group("campaign bench")
+    campaign.add_argument(
+        "--configs", default=None,
+        help="comma-separated Fig. 5 config keys (default: all six)")
+    campaign.add_argument(
+        "--sets", type=int, default=None,
+        help="task sets per utilisation point "
+             f"(default {campaign_bench.default_sets_per_point()})")
+    campaign.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker count (default REPRO_WORKERS or cpu_count)")
+    args = parser.parse_args(argv)
+
+    if args.bench == "campaign":
+        return _run_campaign(args)
+    return _run_engine(args)
 
 
 if __name__ == "__main__":

@@ -12,19 +12,28 @@ work between segments.  The experiment therefore configures a realistic
 spill buffer and a per-segment service pause; with a dedicated,
 tightly-coupled checker the latency collapses to the sub-µs FIFO depth
 (the ablation bench shows this).
+
+The campaign engine (:mod:`repro.campaign`) runs one work unit per
+(workload, repeat): each unit is a self-contained co-simulation whose
+fault seed is fixed by the spec (``seed + 1000 · rep``, the seed repo's
+formula), so the latency samples are bit-identical to the serial path
+for any worker count, and a whole Fig. 7 suite fans its profile ×
+repeat grid across cores in a single pool.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..campaign import run_campaign, run_grouped_campaign
 from ..config import SoCConfig
 from ..flexstep.faults import FaultInjector, FaultRecord, FaultTarget
 from ..flexstep.soc import FlexStepSoC
 from ..sim.stats import Histogram, percentile
-from ..workloads.generator import GeneratorOptions, build_program
+from ..workloads.generator import GeneratorOptions, cached_program
 from ..workloads.profiles import WorkloadProfile
 
 #: Default checker service pause between segments (cycles): models the
@@ -36,6 +45,19 @@ DEFAULT_SERVICE_PAUSE = 20_000
 #: (Sec. III-C: "additional buffering can be allocated in main memory,
 #: accessed via DMA").
 DEFAULT_DMA_SPILL = 4_096
+
+#: Single source of the Fig. 7 experiment defaults, shared by
+#: :func:`detection_latency_experiment`'s signature and
+#: :func:`latency_suite`'s option merging — one place to change.
+FIG7_DEFAULTS: dict = {
+    "target_instructions": 60_000,
+    "target": FaultTarget.ANY,
+    "segment_interval": 2,
+    "service_pause_cycles": DEFAULT_SERVICE_PAUSE,
+    "dma_spill_entries": DEFAULT_DMA_SPILL,
+    "seed": 7,
+    "repeats": 1,
+}
 
 
 @dataclass
@@ -73,54 +95,122 @@ class LatencyResult:
         return hist
 
 
+def _fig7_unit(spec: dict, rng_seed: int) -> dict:
+    """One work unit: one fault-injection repetition of one workload."""
+    del rng_seed   # the fault seed is part of the spec (seed repo formula)
+    profile = WorkloadProfile(**spec["profile"])
+    program = cached_program(
+        profile,
+        GeneratorOptions(target_instructions=spec["target_instructions"]))
+    config = SoCConfig(num_cores=2).with_flexstep(
+        dma_spill_entries=spec["dma_spill_entries"])
+    soc = FlexStepSoC(config)
+    soc.load_program(0, program)
+    soc.cores[1].load_program(program)
+    soc.setup_verification(0, [1])
+    soc.engine_of(1).segment_service_pause = spec["service_pause_cycles"]
+    channel = soc.interconnect.channels_of(0)[0]
+    injector = FaultInjector(
+        channel, target=FaultTarget(spec["target"]),
+        segment_interval=spec["segment_interval"],
+        rng=random.Random(spec["fault_seed"]))
+    soc.run()
+    injector.resolve(soc.all_results())
+    return {
+        "latencies_us": [soc.cycles_us(c)
+                         for c in injector.latencies_cycles()],
+        "detected": sum(r.detected for r in injector.records),
+        "injected": len(injector.records),
+        "records": [r.to_dict() for r in injector.records],
+    }
+
+
+_fig7_unit.campaign_version = "1"
+
+
+def _fig7_specs(profile: WorkloadProfile, *, target_instructions: int,
+                target: FaultTarget, segment_interval: int,
+                service_pause_cycles: int, dma_spill_entries: int,
+                seed: int, repeats: int) -> list[dict]:
+    return [
+        {"profile": dataclasses.asdict(profile),
+         "target_instructions": target_instructions,
+         "target": target.value,
+         "segment_interval": segment_interval,
+         "service_pause_cycles": service_pause_cycles,
+         "dma_spill_entries": dma_spill_entries,
+         "fault_seed": seed + 1000 * rep,
+         "rep": rep}
+        for rep in range(repeats)
+    ]
+
+
+def _merge_units(workload: str, payloads: Sequence[dict]) -> LatencyResult:
+    latencies: list[float] = []
+    records: list[FaultRecord] = []
+    detected = 0
+    injected = 0
+    for payload in payloads:
+        latencies.extend(payload["latencies_us"])
+        detected += payload["detected"]
+        injected += payload["injected"]
+        records.extend(FaultRecord.from_dict(raw)
+                       for raw in payload["records"])
+    return LatencyResult(workload=workload, latencies_us=latencies,
+                         detected=detected, injected=injected,
+                         records=records)
+
+
 def detection_latency_experiment(
         profile: WorkloadProfile, *,
-        target_instructions: int = 60_000,
-        target: FaultTarget = FaultTarget.ANY,
-        segment_interval: int = 2,
-        service_pause_cycles: int = DEFAULT_SERVICE_PAUSE,
-        dma_spill_entries: int = DEFAULT_DMA_SPILL,
-        seed: int = 7,
-        repeats: int = 1) -> LatencyResult:
+        target_instructions: int = FIG7_DEFAULTS["target_instructions"],
+        target: FaultTarget = FIG7_DEFAULTS["target"],
+        segment_interval: int = FIG7_DEFAULTS["segment_interval"],
+        service_pause_cycles: int = FIG7_DEFAULTS["service_pause_cycles"],
+        dma_spill_entries: int = FIG7_DEFAULTS["dma_spill_entries"],
+        seed: int = FIG7_DEFAULTS["seed"],
+        repeats: int = FIG7_DEFAULTS["repeats"],
+        workers: int | None = None,
+        cache: object = "auto") -> LatencyResult:
     """Inject faults into one workload's verification stream.
 
     ``segment_interval`` arms every N-th segment with one fault, so a
     single run yields many independent latency samples; ``repeats``
     reruns with different fault seeds to grow the sample count (the
     paper uses 5 000–10 000 faults per workload; scale ``repeats`` and
-    ``target_instructions`` to taste).
+    ``target_instructions`` to taste).  Repetitions are independent
+    work units and fan out across ``workers`` processes.
     """
-    latencies: list[float] = []
-    records: list[FaultRecord] = []
-    detected = 0
-    injected = 0
-    program = build_program(
-        profile, GeneratorOptions(target_instructions=target_instructions))
-    for rep in range(repeats):
-        config = SoCConfig(num_cores=2).with_flexstep(
-            dma_spill_entries=dma_spill_entries)
-        soc = FlexStepSoC(config)
-        soc.load_program(0, program)
-        soc.cores[1].load_program(program)
-        soc.setup_verification(0, [1])
-        soc.engine_of(1).segment_service_pause = service_pause_cycles
-        channel = soc.interconnect.channels_of(0)[0]
-        injector = FaultInjector(
-            channel, target=target, segment_interval=segment_interval,
-            rng=random.Random(seed + 1000 * rep))
-        soc.run()
-        injector.resolve(soc.all_results())
-        injected += len(injector.records)
-        detected += sum(r.detected for r in injector.records)
-        latencies.extend(soc.cycles_us(c)
-                         for c in injector.latencies_cycles())
-        records.extend(injector.records)
-    return LatencyResult(workload=profile.name, latencies_us=latencies,
-                         detected=detected, injected=injected,
-                         records=records)
+    specs = _fig7_specs(
+        profile, target_instructions=target_instructions, target=target,
+        segment_interval=segment_interval,
+        service_pause_cycles=service_pause_cycles,
+        dma_spill_entries=dma_spill_entries, seed=seed, repeats=repeats)
+    run = run_campaign(_fig7_unit, specs, seed=seed, workers=workers,
+                       cache=cache)
+    return _merge_units(profile.name, run.results)
 
 
 def latency_suite(profiles: Sequence[WorkloadProfile],
+                  workers: int | None = None,
+                  cache: object = "auto",
                   **kwargs) -> list[LatencyResult]:
-    """Fig. 7: one latency distribution per workload."""
-    return [detection_latency_experiment(p, **kwargs) for p in profiles]
+    """Fig. 7: one latency distribution per workload.
+
+    The whole profile × repeat grid is submitted as a single campaign,
+    so slow workloads overlap with fast ones instead of serialising at
+    suite boundaries.
+    """
+    unknown = set(kwargs) - set(FIG7_DEFAULTS)
+    if unknown:
+        raise TypeError(f"latency_suite got unknown options {unknown}")
+    options = {**FIG7_DEFAULTS, **kwargs}
+    groups = {
+        profile.name: _fig7_specs(profile, **options)
+        for profile in profiles
+    }
+    sliced, _stats = run_grouped_campaign(
+        _fig7_unit, groups, seed=options["seed"], workers=workers,
+        cache=cache)
+    return [_merge_units(profile.name, sliced[profile.name])
+            for profile in profiles]

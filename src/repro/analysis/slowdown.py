@@ -6,19 +6,32 @@ instrumentation, and — trivially — (4) under LockStep, whose
 synchronous per-cycle checking adds no main-core stalls (its cost is
 the duplicated silicon, charged by :mod:`repro.analysis.power`).
 Slowdown is main-core cycles normalised to the vanilla run.
+
+The per-workload measurements are independent co-simulations, so both
+suites fan out over the campaign engine (:mod:`repro.campaign`): one
+work unit measures one workload end-to-end (vanilla + FlexStep + Nzdc
+for Fig. 4; vanilla + dual + triple for Fig. 6).  Program generation is
+fully deterministic from the profile's own seed, so results are
+independent of worker count and cacheable on disk.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from ..config import SoCConfig
+from ..campaign import run_campaign
+from ..config import SoCConfig, soc_config_from_dict, soc_config_to_dict
 from ..errors import VerificationMismatch
 from ..flexstep.soc import FlexStepSoC
 from ..isa.program import Program
 from ..sim.stats import geomean
-from ..workloads.generator import GeneratorOptions, build_program
+from ..workloads.generator import (
+    GeneratorOptions,
+    build_program,
+    cached_program,
+)
 from ..workloads.profiles import WorkloadProfile
 
 
@@ -80,25 +93,57 @@ def measure_nzdc_cycles(profile: WorkloadProfile,
     return measure_vanilla_cycles(program, config)
 
 
+def _suite_specs(profiles: Sequence[WorkloadProfile],
+                 target_instructions: int,
+                 config: SoCConfig | None) -> list[dict]:
+    config_spec = soc_config_to_dict(config) if config is not None else None
+    return [
+        {"profile": dataclasses.asdict(profile),
+         "target_instructions": target_instructions,
+         "config": config_spec}
+        for profile in profiles
+    ]
+
+
+def _unit_setup(spec: dict) -> tuple[WorkloadProfile, GeneratorOptions,
+                                     SoCConfig | None]:
+    profile = WorkloadProfile(**spec["profile"])
+    opts = GeneratorOptions(
+        target_instructions=spec["target_instructions"])
+    config = (soc_config_from_dict(spec["config"])
+              if spec["config"] is not None else None)
+    return profile, opts, config
+
+
+def _fig4_unit(spec: dict, rng_seed: int) -> dict:
+    """One work unit: one workload under vanilla, FlexStep and Nzdc."""
+    del rng_seed   # program generation is seeded by the profile itself
+    profile, opts, config = _unit_setup(spec)
+    program = cached_program(profile, opts)
+    base = measure_vanilla_cycles(program, config)
+    flex_cycles, _soc = measure_flexstep(program, config=config)
+    nzdc = None
+    if profile.nzdc_compiles:
+        nzdc = measure_nzdc_cycles(profile, opts, config) / base
+    return {"workload": profile.name,
+            "lockstep": 1.0,  # synchronous checking: no main-core stalls
+            "flexstep": flex_cycles / base,
+            "nzdc": nzdc}
+
+
+_fig4_unit.campaign_version = "1"
+
+
 def slowdown_suite(profiles: Sequence[WorkloadProfile], *,
                    target_instructions: int = 40_000,
-                   config: SoCConfig | None = None) -> list[SlowdownRow]:
+                   config: SoCConfig | None = None,
+                   workers: int | None = None,
+                   cache: object = "auto") -> list[SlowdownRow]:
     """Fig. 4 rows for a workload suite (LockStep, FlexStep, Nzdc)."""
-    rows = []
-    opts = GeneratorOptions(target_instructions=target_instructions)
-    for profile in profiles:
-        program = build_program(profile, opts)
-        base = measure_vanilla_cycles(program, config)
-        flex_cycles, _soc = measure_flexstep(program, config=config)
-        nzdc = None
-        if profile.nzdc_compiles:
-            nzdc = measure_nzdc_cycles(profile, opts, config) / base
-        rows.append(SlowdownRow(
-            workload=profile.name,
-            lockstep=1.0,     # synchronous checking: no main-core stalls
-            flexstep=flex_cycles / base,
-            nzdc=nzdc))
-    return rows
+    run = run_campaign(
+        _fig4_unit, _suite_specs(profiles, target_instructions, config),
+        workers=workers, cache=cache)
+    return [SlowdownRow(**row) for row in run.results]
 
 
 def geomean_row(rows: Sequence[SlowdownRow]) -> SlowdownRow:
@@ -119,20 +164,30 @@ class ModeRow:
     triple: float
 
 
+def _fig6_unit(spec: dict, rng_seed: int) -> dict:
+    """One work unit: one workload in dual- and triple-core mode."""
+    del rng_seed
+    profile, opts, _config = _unit_setup(spec)
+    program = cached_program(profile, opts)
+    base = measure_vanilla_cycles(program)
+    dual, _ = measure_flexstep(program, checkers=1)
+    triple, _ = measure_flexstep(program, checkers=2)
+    return {"workload": profile.name,
+            "dual": dual / base, "triple": triple / base}
+
+
+_fig6_unit.campaign_version = "1"
+
+
 def verification_mode_comparison(profiles: Sequence[WorkloadProfile], *,
                                  target_instructions: int = 40_000,
-                                 ) -> list[ModeRow]:
+                                 workers: int | None = None,
+                                 cache: object = "auto") -> list[ModeRow]:
     """Fig. 6: FlexStep slowdown in dual- vs triple-core mode."""
-    rows = []
-    opts = GeneratorOptions(target_instructions=target_instructions)
-    for profile in profiles:
-        program = build_program(profile, opts)
-        base = measure_vanilla_cycles(program)
-        dual, _ = measure_flexstep(program, checkers=1)
-        triple, _ = measure_flexstep(program, checkers=2)
-        rows.append(ModeRow(workload=profile.name,
-                            dual=dual / base, triple=triple / base))
-    return rows
+    run = run_campaign(
+        _fig6_unit, _suite_specs(profiles, target_instructions, None),
+        workers=workers, cache=cache)
+    return [ModeRow(**row) for row in run.results]
 
 
 def geomean_mode_row(rows: Sequence[ModeRow]) -> ModeRow:

@@ -1,0 +1,59 @@
+"""Parallel experiment-campaign engine.
+
+The paper's deliverables are *sweeps* — Fig. 5 is 6 configurations ×
+13 utilisation points × 100 task sets × 3 schemes, Figs. 4/6/7 are
+co-simulation campaigns over a workload suite — and the seed repo ran
+every one of them strictly serially in a single Python process.  This
+package turns a sweep into a declarative **campaign**: a grid of small,
+independent *work units*, each seeded deterministically from the
+campaign seed and the unit's spec, fanned out over a
+``multiprocessing`` pool and persisted to a content-addressed on-disk
+cache.
+
+Guarantees (see ``tests/campaign/``):
+
+* **Determinism** — a unit's random stream derives only from
+  ``spawn_seed(campaign seed, unit spec)``, never from process state or
+  scheduling order, so ``workers=1`` and ``workers=N`` produce
+  bit-identical results.
+* **Resume for free** — each completed unit is written to the cache
+  under a digest of (function, version, seed, spec); re-runs and
+  partially-failed sweeps recompute only what is missing.
+* **Zero-dependency** — stdlib ``multiprocessing`` + ``json`` only.
+
+Knobs: ``REPRO_WORKERS`` (worker count, default ``os.cpu_count()``;
+``1`` = in-process serial path for debugging), ``REPRO_CACHE_DIR``
+(cache root, default ``<repo>/.repro_cache``; set ``cache=None`` in
+code to disable).
+"""
+
+from .cache import ResultCache, unit_digest
+from .engine import (
+    CampaignError,
+    CampaignRun,
+    CampaignStats,
+    canonical_json,
+    code_token,
+    default_cache_dir,
+    default_workers,
+    resolve_cache,
+    run_campaign,
+    run_grouped_campaign,
+    spawn_seed,
+)
+
+__all__ = [
+    "CampaignError",
+    "CampaignRun",
+    "CampaignStats",
+    "ResultCache",
+    "canonical_json",
+    "code_token",
+    "default_cache_dir",
+    "default_workers",
+    "resolve_cache",
+    "run_campaign",
+    "run_grouped_campaign",
+    "spawn_seed",
+    "unit_digest",
+]

@@ -1,0 +1,156 @@
+"""Campaign-engine throughput bench (the Fig. 5 sweep trajectory).
+
+Times the default-scale Fig. 5 schedulability sweep three ways —
+serial (``workers=1``), parallel (``workers=cpu_count()``) and cached
+replay — asserts the serial and parallel curves are **bit-identical**,
+and records the wall-clock trajectory in ``BENCH_campaign.json`` so
+every future sweep PR reports its speedup against a written-down
+baseline (mirrors ``BENCH_engine.json`` for the execution engine).
+
+Wall-clock speedup assertions are gated behind ``REPRO_BENCH_STRICT``:
+a single-core CI runner cannot show a multiprocessing speedup, but it
+can and does still verify equivalence and record the trajectory.
+
+Environment knobs (all optional):
+
+====================================  ================================
+``REPRO_BENCH_CAMPAIGN_SETS``         task sets per utilisation point
+``REPRO_BENCH_CAMPAIGN_CONFIGS``      comma-separated Fig. 5 config keys
+``REPRO_BENCH_MIN_CAMPAIGN_SPEEDUP``  strict-mode speedup floor (4.0)
+``REPRO_BENCH_STRICT``                enable wall-clock assertions
+====================================  ================================
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from datetime import datetime, timezone
+from typing import Sequence
+
+from ..sched.experiments import (
+    DEFAULT_UTILIZATIONS,
+    FIG5_CONFIGS,
+    SchedulabilityPoint,
+    fig5_campaign,
+)
+from .engine import default_workers
+
+#: Default benchmark trajectory file, relative to the repository root.
+BENCH_FILE = "BENCH_campaign.json"
+
+_ENV_SETS = "REPRO_BENCH_CAMPAIGN_SETS"
+_ENV_CONFIGS = "REPRO_BENCH_CAMPAIGN_CONFIGS"
+_ENV_MIN_SPEEDUP = "REPRO_BENCH_MIN_CAMPAIGN_SPEEDUP"
+_ENV_STRICT = "REPRO_BENCH_STRICT"
+
+
+def default_sets_per_point() -> int:
+    return int(os.environ.get(_ENV_SETS, "100"))
+
+
+def default_configs() -> tuple[str, ...]:
+    raw = os.environ.get(_ENV_CONFIGS, "").strip()
+    if not raw:
+        return tuple(FIG5_CONFIGS)
+    return tuple(key.strip() for key in raw.split(",") if key.strip())
+
+
+def min_campaign_speedup(default: float = 4.0) -> float:
+    return float(os.environ.get(_ENV_MIN_SPEEDUP, str(default)))
+
+
+def strict_enabled() -> bool:
+    return os.environ.get(_ENV_STRICT, "").strip() not in ("", "0")
+
+
+def curves_fingerprint(curves: dict[str, list[SchedulabilityPoint]],
+                       ) -> list:
+    """A comparable, JSON-able form of a Fig. 5 curve family."""
+    return [
+        [key, [[p.utilization, sorted(p.ratios.items())] for p in points]]
+        for key, points in sorted(curves.items())
+    ]
+
+
+def run_campaign_benchmark(*, configs: Sequence[str] | None = None,
+                           utilizations: Sequence[float] | None = None,
+                           sets_per_point: int | None = None,
+                           workers: int | None = None,
+                           label: str = "") -> dict:
+    """Run the Fig. 5 sweep bench; returns one trajectory record."""
+    keys = tuple(configs) if configs else default_configs()
+    utils = tuple(utilizations) if utilizations else DEFAULT_UTILIZATIONS
+    sets = sets_per_point or default_sets_per_point()
+    n_workers = workers or default_workers()
+
+    def _timed(run_workers: int, cache) -> tuple[float, dict]:
+        start = time.perf_counter()
+        curves = fig5_campaign(keys, utilizations=utils,
+                               sets_per_point=sets, workers=run_workers,
+                               cache=cache)
+        return time.perf_counter() - start, curves
+
+    serial_seconds, serial_curves = _timed(1, None)
+    parallel_seconds, parallel_curves = _timed(n_workers, None)
+    bit_identical = (curves_fingerprint(serial_curves)
+                     == curves_fingerprint(parallel_curves))
+
+    # Cached replay: populate a fresh cache, then re-run against it.
+    cache_dir = tempfile.mkdtemp(prefix="repro-campaign-bench-")
+    try:
+        _timed(n_workers, cache_dir)
+        replay_seconds, replay_curves = _timed(n_workers, cache_dir)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    replay_identical = (curves_fingerprint(serial_curves)
+                        == curves_fingerprint(replay_curves))
+
+    units = len(keys) * len(utils) * sets
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    return {
+        "bench": "campaign",
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "label": label,
+        "configs": list(keys),
+        "utilization_points": len(utils),
+        "sets_per_point": sets,
+        "units": units,
+        "workers": n_workers,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "replay_seconds": round(replay_seconds, 3),
+        "speedup": round(speedup, 3),
+        "replay_speedup": round(
+            serial_seconds / replay_seconds, 3) if replay_seconds else 0.0,
+        "units_per_second_serial": round(
+            units / serial_seconds, 1) if serial_seconds else 0.0,
+        "units_per_second_parallel": round(
+            units / parallel_seconds, 1) if parallel_seconds else 0.0,
+        "bit_identical": bit_identical,
+        "replay_identical": replay_identical,
+    }
+
+
+def format_record(record: dict) -> str:
+    """Human-readable summary of one campaign benchmark record."""
+    return "\n".join([
+        "Campaign throughput: Fig. 5 sweep "
+        f"({','.join(record['configs'])} × {record['utilization_points']} "
+        f"points × {record['sets_per_point']} sets = "
+        f"{record['units']} units)",
+        f"{'serial (workers=1)':<24s} {record['serial_seconds']:>8.3f}s "
+        f"{record['units_per_second_serial']:>8.1f} units/s",
+        f"{'parallel (workers=' + str(record['workers']) + ')':<24s} "
+        f"{record['parallel_seconds']:>8.3f}s "
+        f"{record['units_per_second_parallel']:>8.1f} units/s",
+        f"{'cached replay':<24s} {record['replay_seconds']:>8.3f}s",
+        f"{'speedup':<24s} {record['speedup']:>7.2f}x  "
+        f"(replay {record['replay_speedup']:.2f}x)",
+        f"{'bit-identical':<24s} {record['bit_identical']} "
+        f"(replay {record['replay_identical']})",
+    ])

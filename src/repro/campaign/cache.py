@@ -1,0 +1,85 @@
+"""Content-addressed on-disk result cache for campaign units.
+
+Each completed work unit is stored as one JSON file named by the
+SHA-256 digest of its full identity — the unit function's qualified
+name, that function's ``campaign_version`` tag (bumped whenever the
+unit's semantics change), a fingerprint of the ``repro`` source tree
+(:func:`repro.campaign.engine.code_token` — any source edit
+invalidates automatically), the campaign seed and the unit spec.  A
+digest therefore changes whenever the result could, and concurrent
+campaigns (or concurrent workers of one campaign) can share a cache
+root safely: writes are atomic renames, duplicate writes are idempotent
+by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+
+def canonical_json(payload: Any) -> str:
+    """Key-sorted, whitespace-free JSON — the hashing canonical form.
+
+    ``repr``-based float formatting round-trips exactly, so two specs
+    are digest-equal iff they are value-equal.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def unit_digest(fn_ref: str, version: str, seed: int, spec: Any) -> str:
+    """The cache key of one work unit."""
+    ident = canonical_json([fn_ref, version, seed, spec])
+    return hashlib.sha256(ident.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of ``<digest[:2]>/<digest>.json`` result files."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str, default: Any = None) -> Optional[Any]:
+        """The cached payload, or ``default`` on a miss (corrupt files —
+        e.g. a run killed mid-write on a filesystem without atomic
+        rename — count as misses and are removed).
+
+        A unit may legitimately return ``None``, and ``null`` is a valid
+        cache file — callers that must tell the two apart pass a private
+        sentinel as ``default`` (the engine does).
+        """
+        path = self.path_for(digest)
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return default
+        except (json.JSONDecodeError, OSError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return default
+
+    def put(self, digest: str, payload: Any) -> None:
+        """Persist one unit result (atomic within-directory rename)."""
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, separators=(",", ":"))
+        os.replace(tmp, path)
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

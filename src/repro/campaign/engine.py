@@ -1,0 +1,274 @@
+"""Deterministic parallel execution of campaign work units.
+
+A campaign is ``run_campaign(fn, specs)``: ``fn`` is a module-level
+function ``fn(spec, rng_seed) -> json-able``, ``specs`` is the
+declarative grid (one JSON-able dict per unit).  The engine
+
+1. derives each unit's ``rng_seed`` with :func:`spawn_seed` from the
+   campaign seed and the unit spec (SHA-256, never ``hash()`` — stable
+   across processes, platforms and Python runs),
+2. answers units already in the result cache without recomputation,
+3. chunks the remaining units onto a ``multiprocessing`` pool
+   (``workers=1`` runs in-process — same code path minus the pool),
+4. writes each result to the cache as it arrives, so an interrupted
+   sweep resumes from where it died,
+5. returns results in spec order regardless of completion order.
+
+Every payload — computed or cached — is normalised through a JSON
+round-trip before it is returned, so a campaign's output is invariant
+to worker count *and* to cache state (tuples become lists exactly once,
+on every path).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from ..errors import ReproError
+from .cache import ResultCache, canonical_json, unit_digest
+
+_ENV_WORKERS = "REPRO_WORKERS"
+_ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+_ENV_START_METHOD = "REPRO_MP_START"
+
+
+class CampaignError(ReproError):
+    """A campaign could not be set up or a unit failed."""
+
+
+def spawn_seed(campaign_seed: int, *key_parts: Any) -> int:
+    """A 64-bit seed derived from the campaign seed and a unit key.
+
+    Unlike ``hash()``, the derivation is identical in every worker
+    process and every Python invocation, which is what makes
+    ``workers=1`` and ``workers=N`` bit-identical.
+    """
+    ident = canonical_json([campaign_seed, list(key_parts)])
+    digest = hashlib.sha256(ident.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_WORKERS`` env, else ``os.cpu_count()``."""
+    raw = os.environ.get(_ENV_WORKERS, "").strip()
+    if raw:
+        workers = int(raw)
+        if workers < 1:
+            raise CampaignError(f"{_ENV_WORKERS} must be >= 1, got {raw}")
+        return workers
+    return os.cpu_count() or 1
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``REPRO_CACHE_DIR`` env, else ``<repo>/.repro_cache``."""
+    raw = os.environ.get(_ENV_CACHE_DIR, "").strip()
+    if raw:
+        return Path(raw)
+    # three levels above this file: src/repro/campaign -> repo root
+    return Path(__file__).resolve().parents[3] / ".repro_cache"
+
+
+def resolve_cache(cache: Any) -> Optional[ResultCache]:
+    """Normalise the ``cache`` knob: ``None`` disables, ``"auto"`` uses
+    the default directory, a path uses that directory, a
+    :class:`ResultCache` passes through."""
+    if cache is None:
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache == "auto":
+        return ResultCache(default_cache_dir())
+    return ResultCache(cache)
+
+
+def _fn_ref(fn: Callable) -> str:
+    """The importable ``module:qualname`` reference of a unit function."""
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "." in qualname:
+        raise CampaignError(
+            f"unit function {fn!r} must be a module-level function so "
+            "worker processes can import it")
+    return f"{module}:{qualname}"
+
+
+_RESOLVED: dict[str, Callable] = {}
+
+
+def _resolve(fn_ref: str) -> Callable:
+    fn = _RESOLVED.get(fn_ref)
+    if fn is None:
+        module, _, qualname = fn_ref.partition(":")
+        fn = getattr(importlib.import_module(module), qualname)
+        _RESOLVED[fn_ref] = fn
+    return fn
+
+
+def _normalize(payload: Any) -> Any:
+    """JSON round-trip so fresh and cached results are indistinguishable."""
+    return json.loads(json.dumps(payload))
+
+
+_CODE_TOKEN: Optional[str] = None
+
+
+def code_token() -> str:
+    """A fingerprint of the ``repro`` package's source tree.
+
+    Folded into every cache digest (never into spawn seeds): editing
+    any simulator/analysis source invalidates cached unit results
+    automatically, so a forgotten ``campaign_version`` bump can go
+    stale only between runs of *identical* code.  Hashes (path, size,
+    mtime) of every ``.py`` file — a few ms, computed once per process.
+    """
+    global _CODE_TOKEN
+    if _CODE_TOKEN is None:
+        package_root = Path(__file__).resolve().parents[1]
+        entries = []
+        for path in sorted(package_root.rglob("*.py")):
+            stat = path.stat()
+            entries.append((str(path.relative_to(package_root)),
+                            stat.st_size, stat.st_mtime_ns))
+        _CODE_TOKEN = hashlib.sha256(
+            canonical_json(entries).encode("utf-8")).hexdigest()[:16]
+    return _CODE_TOKEN
+
+
+def _execute_unit(item: tuple[int, str, Any, int]) -> tuple[int, Any]:
+    """Run one unit (pool worker entry point; also the serial path)."""
+    index, fn_ref, spec, rng_seed = item
+    payload = _resolve(fn_ref)(spec, rng_seed)
+    return index, _normalize(payload)
+
+
+@dataclass
+class CampaignStats:
+    """Bookkeeping for one campaign run."""
+
+    total: int = 0
+    computed: int = 0
+    cached: int = 0
+    workers: int = 1
+    chunk_size: int = 1
+    seconds: float = 0.0
+    cache_dir: Optional[str] = None
+
+
+@dataclass
+class CampaignRun:
+    """Results (in spec order) plus run statistics."""
+
+    results: list = field(default_factory=list)
+    stats: CampaignStats = field(default_factory=CampaignStats)
+
+
+def _start_method() -> str:
+    """Pool start method: ``REPRO_MP_START`` env, else the platform
+    default (fork on Linux; spawn on macOS, where forking into system
+    frameworks is unsafe — the reason CPython switched its default)."""
+    preferred = os.environ.get(_ENV_START_METHOD, "").strip()
+    if preferred and preferred in multiprocessing.get_all_start_methods():
+        return preferred
+    return multiprocessing.get_start_method()
+
+
+def run_campaign(fn: Callable[[Any, int], Any], specs: Sequence[Any], *,
+                 seed: int = 0, workers: Optional[int] = None,
+                 cache: Any = "auto",
+                 chunk_size: Optional[int] = None) -> CampaignRun:
+    """Execute every unit of a campaign grid; see the module docstring.
+
+    ``fn`` may carry a ``campaign_version`` attribute (default ``"1"``);
+    bump it whenever the unit's semantics change so stale cache entries
+    are never served.
+    """
+    fn_ref = _fn_ref(fn)
+    version = str(getattr(fn, "campaign_version", "1"))
+    store = resolve_cache(cache)
+    n_workers = workers if workers is not None else default_workers()
+    if n_workers < 1:
+        raise CampaignError(f"workers must be >= 1, got {n_workers}")
+
+    start = time.perf_counter()
+    results: list[Any] = [None] * len(specs)
+    digests: list[Optional[str]] = [None] * len(specs)
+    pending: list[tuple[int, str, Any, int]] = []
+    cached = 0
+    miss = object()   # distinguishes a cached null payload from a miss
+    # Spawn seeds depend on the *declared* version only (stable RNG
+    # streams across refactors); digests also fold in the source-tree
+    # fingerprint so cached results never outlive a code change.
+    digest_version = f"{version}:{code_token()}"
+    for index, spec in enumerate(specs):
+        rng_seed = spawn_seed(seed, fn_ref, version, spec)
+        if store is not None:
+            digest = unit_digest(fn_ref, digest_version, seed, spec)
+            digests[index] = digest
+            hit = store.get(digest, miss)
+            if hit is not miss:
+                results[index] = hit
+                cached += 1
+                continue
+        pending.append((index, fn_ref, spec, rng_seed))
+
+    n_workers = min(n_workers, len(pending)) or 1
+    if chunk_size is None:
+        chunk_size = max(1, len(pending) // (n_workers * 4) or 1)
+
+    def _record(index: int, payload: Any) -> None:
+        results[index] = payload
+        if store is not None:
+            store.put(digests[index], payload)
+
+    if n_workers == 1:
+        for item in pending:
+            index, payload = _execute_unit(item)
+            _record(index, payload)
+    else:
+        ctx = multiprocessing.get_context(_start_method())
+        with ctx.Pool(processes=n_workers) as pool:
+            for index, payload in pool.imap_unordered(
+                    _execute_unit, pending, chunksize=chunk_size):
+                _record(index, payload)
+
+    stats = CampaignStats(
+        total=len(specs), computed=len(pending), cached=cached,
+        workers=n_workers, chunk_size=chunk_size,
+        seconds=time.perf_counter() - start,
+        cache_dir=str(store.root) if store is not None else None)
+    return CampaignRun(results=results, stats=stats)
+
+
+def run_grouped_campaign(fn: Callable[[Any, int], Any],
+                         groups: Mapping[str, Sequence[Any]], *,
+                         seed: int = 0, workers: Optional[int] = None,
+                         cache: Any = "auto",
+                         chunk_size: Optional[int] = None,
+                         ) -> tuple[dict[str, list], CampaignStats]:
+    """Run several spec groups as **one** flat campaign.
+
+    The whole grid shares one worker pool — slow groups overlap with
+    fast ones instead of draining to a single worker at every group
+    boundary — and results come back re-sliced per group, in spec
+    order.  This is the one-liner for grouped sweeps (Fig. 5's six
+    configurations, Fig. 7's per-workload repetition grids, ...).
+    """
+    flat: list[Any] = []
+    for specs in groups.values():
+        flat.extend(specs)
+    run = run_campaign(fn, flat, seed=seed, workers=workers, cache=cache,
+                       chunk_size=chunk_size)
+    sliced: dict[str, list] = {}
+    offset = 0
+    for key, specs in groups.items():
+        sliced[key] = run.results[offset:offset + len(specs)]
+        offset += len(specs)
+    return sliced, run.stats

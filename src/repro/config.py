@@ -185,6 +185,26 @@ def table2_config(num_cores: int = 4) -> SoCConfig:
     return SoCConfig(num_cores=num_cores)
 
 
+def soc_config_to_dict(config: SoCConfig) -> dict:
+    """JSON-able form of a :class:`SoCConfig` (campaign unit specs)."""
+    return dataclasses.asdict(config)
+
+
+def soc_config_from_dict(data: dict) -> SoCConfig:
+    """Inverse of :func:`soc_config_to_dict` (validates via __post_init__)."""
+    core = dict(data["core"])
+    core["branch_predictor"] = BranchPredictorConfig(
+        **core["branch_predictor"])
+    memory = dict(data["memory"])
+    for level in ("l1i", "l1d", "l2"):
+        memory[level] = CacheConfig(**memory[level])
+    return SoCConfig(
+        num_cores=data["num_cores"],
+        core=CoreConfig(**core),
+        memory=MemoryConfig(**memory),
+        flexstep=FlexStepConfig(**data["flexstep"]))
+
+
 def describe_table2(config: SoCConfig | None = None) -> str:
     """Render a Table II-style description of ``config`` (for reports)."""
     cfg = config or table2_config()

@@ -16,6 +16,7 @@ segment and converts the cycle delta to microseconds.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import random
 from dataclasses import dataclass, field
@@ -63,6 +64,14 @@ class FaultRecord:
         if not self.detected:
             return None
         return max(0, self.detect_cycle - self.inject_cycle)
+
+    def to_dict(self) -> dict:
+        """JSON-able form (campaign cache payloads)."""
+        return {**dataclasses.asdict(self), "target": self.target.value}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRecord":
+        return cls(**{**data, "target": FaultTarget(data["target"])})
 
 
 _TARGET_TYPES = {

@@ -213,20 +213,29 @@ def repo_root() -> Path:
     return Path(__file__).resolve().parent.parent.parent
 
 
-def load_trajectory(path: str | os.PathLike | None = None) -> dict:
-    """Read the benchmark trajectory file (empty skeleton if absent)."""
-    bench_path = Path(path) if path else repo_root() / BENCH_FILE
+def bench_file(bench: str = "engine") -> Path:
+    """The default trajectory file of a named bench (``BENCH_<name>.json``
+    at the repo root) — ``engine`` and ``campaign`` today, one file per
+    perf subsystem as the trajectory grows."""
+    return repo_root() / f"BENCH_{bench}.json"
+
+
+def load_trajectory(path: str | os.PathLike | None = None, *,
+                    bench: str = "engine") -> dict:
+    """Read a benchmark trajectory file (empty skeleton if absent)."""
+    bench_path = Path(path) if path else bench_file(bench)
     if not bench_path.exists():
-        return {"bench": "engine", "records": []}
+        return {"bench": bench, "records": []}
     with open(bench_path) as fh:
         return json.load(fh)
 
 
 def append_record(record: dict,
-                  path: str | os.PathLike | None = None) -> Path:
-    """Append ``record`` to the trajectory file; returns its path."""
-    bench_path = Path(path) if path else repo_root() / BENCH_FILE
-    trajectory = load_trajectory(bench_path)
+                  path: str | os.PathLike | None = None, *,
+                  bench: str = "engine") -> Path:
+    """Append ``record`` to a trajectory file; returns its path."""
+    bench_path = Path(path) if path else bench_file(bench)
+    trajectory = load_trajectory(bench_path, bench=bench)
     trajectory["records"].append(record)
     with open(bench_path, "w") as fh:
         json.dump(trajectory, fh, indent=2, sort_keys=False)

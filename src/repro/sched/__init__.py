@@ -34,7 +34,13 @@ from .lockstep import partition_lockstep
 from .hmr import partition_hmr
 from .result import Assignment, PartitionResult, Role
 from .simulation import EdfSimulator, SimJob, simulate_partition
-from .experiments import SchedulabilityPoint, schedulability_curve, FIG5_CONFIGS
+from .experiments import (
+    SchedulabilityPoint,
+    schedulability_curve,
+    fig5_campaign,
+    task_set_seed,
+    FIG5_CONFIGS,
+)
 
 __all__ = [
     "TaskClass",
@@ -59,5 +65,7 @@ __all__ = [
     "simulate_partition",
     "SchedulabilityPoint",
     "schedulability_curve",
+    "fig5_campaign",
+    "task_set_seed",
     "FIG5_CONFIGS",
 ]

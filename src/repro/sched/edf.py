@@ -68,17 +68,48 @@ def _deadlines_up_to(tasks: Sequence[DemandTask], limit: float, *,
     periods) — exact analysis is then impractical and the caller should
     fall back to the sufficient test.
     """
-    points: set[float] = set()
+    eps_limit = limit + 1e-12
+    # Upper-bound the enumeration analytically first: when the raw
+    # (pre-dedupe) point count provably fits the budget, distinct
+    # points fit too and no cap check is needed inside the hot loop.
+    raw_bound = 0
+    for task in tasks:
+        if task.deadline <= eps_limit:
+            raw_bound += int((eps_limit - task.deadline)
+                             // task.period) + 2
+    if raw_bound > max_points:
+        # Near or past the cap: fall back to set-based enumeration so
+        # the "too many *distinct* points" raise semantics match the
+        # seed exactly even for duplicate-heavy task sets.
+        distinct: set[float] = set()
+        for task in tasks:
+            d = task.deadline
+            while d <= eps_limit:
+                distinct.add(d)
+                if len(distinct) > max_points:
+                    raise AnalysisError(
+                        f"QPA step-point count exceeds {max_points} "
+                        f"(bound {limit:.3g})")
+                d += task.period
+        return sorted(distinct)
+    points: list[float] = []
     for task in tasks:
         d = task.deadline
-        while d <= limit + 1e-12:
-            points.add(d)
-            if len(points) > max_points:
-                raise AnalysisError(
-                    f"QPA step-point count exceeds {max_points} "
-                    f"(bound {limit:.3g})")
-            d += task.period
-    return sorted(points)
+        period = task.period
+        while d <= eps_limit:
+            points.append(d)
+            d += period
+    points.sort()
+    # Single dedupe pass over the sorted run: equal absolute deadlines
+    # from different tasks collapse to one test point, without paying a
+    # per-insert float hash as the seed's set-based enumeration did.
+    out: list[float] = []
+    last: float | None = None
+    for p in points:
+        if p != last:
+            out.append(p)
+            last = p
+    return out
 
 
 def qpa_schedulable(tasks: Iterable[DemandTask], *,

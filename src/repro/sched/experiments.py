@@ -3,19 +3,28 @@
 Sweeps normalised task-set utilisation (x-axis: total utilisation
 divided by m) and reports the percentage of randomly generated task
 sets each scheme's test accepts, for the paper's six configurations.
+
+The sweep runs on the campaign engine (:mod:`repro.campaign`): one
+work unit generates **one** task set and judges it under every scheme,
+so the 6 × 13 × 100 grid fans out across cores and caches on disk.
+Task-set identity derives from ``spawn_seed`` over the generation
+parameters alone — ``(seed, m, n, α, β, x, set index)`` — never from
+process state, scheme selection or unit-function version, so
+``workers=1`` and ``workers=N`` (and the cached replay) are
+bit-identical, and every scheme judges the *same* task sets.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
+from ..campaign import run_campaign, run_grouped_campaign, spawn_seed
 from .hmr import partition_hmr
 from .lockstep import partition_lockstep
 from .partition import partition_flexstep
 from .result import PartitionResult
-from .uunifast import generate_task_set
+from .uunifast import generate_task_set, seeded_rng
 
 #: The six (m, n, α, β) configurations of Fig. 5(a)–(f).
 FIG5_CONFIGS: dict[str, dict] = {
@@ -49,32 +58,121 @@ class SchedulabilityPoint:
         return 100.0 * self.ratios[scheme]
 
 
+def task_set_seed(seed: int, m: int, n: int, alpha: float, beta: float,
+                  x: float, index: float) -> int:
+    """The deterministic RNG seed of one generated task set.
+
+    Shared by the campaign unit and the determinism regression tests:
+    set ``index`` at utilisation point ``x`` is the same task set no
+    matter which process, worker count or scheme subset evaluates it.
+    """
+    return spawn_seed(seed, "fig5-task-set", m, n, alpha, beta, x, index)
+
+
+def _fig5_unit(spec: dict, rng_seed: int) -> dict:
+    """One work unit: generate one task set, judge it per scheme."""
+    del rng_seed   # identity must not depend on unit version or schemes
+    task_set = generate_task_set(
+        spec["n"], spec["x"] * spec["m"], alpha=spec["alpha"],
+        beta=spec["beta"],
+        rng=seeded_rng(task_set_seed(
+            spec["seed"], spec["m"], spec["n"], spec["alpha"],
+            spec["beta"], spec["x"], spec["set"])))
+    return {s: bool(SCHEMES[s](task_set, spec["m"]).success)
+            for s in spec["schemes"]}
+
+
+_fig5_unit.campaign_version = "1"
+
+
+def _fig5_specs(*, m: int, n: int, alpha: float, beta: float,
+                utilizations: Sequence[float], sets_per_point: int,
+                seed: int, schemes: Sequence[str]) -> list[dict]:
+    return [
+        {"m": m, "n": n, "alpha": alpha, "beta": beta, "x": x,
+         "set": index, "seed": seed, "schemes": list(schemes)}
+        for x in utilizations for index in range(sets_per_point)
+    ]
+
+
+def _aggregate_points(specs: Sequence[dict], verdicts: Sequence[dict],
+                      utilizations: Sequence[float], sets_per_point: int,
+                      schemes: Sequence[str]) -> list[SchedulabilityPoint]:
+    accepted: dict[float, dict[str, int]] = {
+        x: {s: 0 for s in schemes} for x in utilizations}
+    for spec, verdict in zip(specs, verdicts):
+        for s in schemes:
+            accepted[spec["x"]][s] += bool(verdict[s])
+    return [
+        SchedulabilityPoint(
+            utilization=x,
+            ratios={s: accepted[x][s] / sets_per_point for s in schemes})
+        for x in utilizations
+    ]
+
+
 def schedulability_curve(*, m: int, n: int, alpha: float, beta: float,
                          utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
                          sets_per_point: int = 100,
                          seed: int = 2025,
                          schemes: Sequence[str] = ("lockstep", "hmr",
                                                    "flexstep"),
+                         workers: int | None = None,
+                         cache: object = "auto",
                          ) -> list[SchedulabilityPoint]:
     """Generate the Fig. 5 curve for one configuration.
 
     Every scheme judges the *same* task sets at each utilisation point,
-    so curves are directly comparable.
+    so curves are directly comparable.  ``workers``/``cache`` follow the
+    campaign-engine defaults (``REPRO_WORKERS``, ``REPRO_CACHE_DIR``);
+    results are independent of both.
     """
-    points = []
-    for x in utilizations:
-        rng = random.Random((seed, m, n, alpha, beta, x).__hash__())
-        accepted = {s: 0 for s in schemes}
-        for _ in range(sets_per_point):
-            task_set = generate_task_set(
-                n, x * m, alpha=alpha, beta=beta, rng=rng)
-            for s in schemes:
-                if SCHEMES[s](task_set, m).success:
-                    accepted[s] += 1
-        points.append(SchedulabilityPoint(
-            utilization=x,
-            ratios={s: accepted[s] / sets_per_point for s in schemes}))
-    return points
+    specs = _fig5_specs(m=m, n=n, alpha=alpha, beta=beta,
+                        utilizations=utilizations,
+                        sets_per_point=sets_per_point, seed=seed,
+                        schemes=schemes)
+    run = run_campaign(_fig5_unit, specs, seed=seed, workers=workers,
+                       cache=cache)
+    return _aggregate_points(specs, run.results, utilizations,
+                             sets_per_point, schemes)
+
+
+def fig5_campaign(configs: Mapping[str, dict] | Sequence[str] | None = None,
+                  *,
+                  utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+                  sets_per_point: int = 100,
+                  seed: int = 2025,
+                  schemes: Sequence[str] = ("lockstep", "hmr", "flexstep"),
+                  workers: int | None = None,
+                  cache: object = "auto",
+                  ) -> dict[str, list[SchedulabilityPoint]]:
+    """All Fig. 5 configurations as **one** campaign grid.
+
+    Fanning the full config × point × replicate product into a single
+    unit pool keeps every core busy through the tail of each curve
+    (the per-config loop of the seed repo drained to one worker at each
+    curve boundary).  Returns ``{config key: curve}``.
+    """
+    if configs is None:
+        chosen: Mapping[str, dict] = FIG5_CONFIGS
+    elif isinstance(configs, Mapping):
+        chosen = configs
+    else:
+        chosen = {key: FIG5_CONFIGS[key] for key in configs}
+    per_config = {
+        key: _fig5_specs(
+            m=cfg["m"], n=cfg["n"], alpha=cfg["alpha"], beta=cfg["beta"],
+            utilizations=utilizations, sets_per_point=sets_per_point,
+            seed=seed, schemes=schemes)
+        for key, cfg in chosen.items()
+    }
+    grouped, _stats = run_grouped_campaign(
+        _fig5_unit, per_config, seed=seed, workers=workers, cache=cache)
+    return {
+        key: _aggregate_points(specs, grouped[key], utilizations,
+                               sets_per_point, schemes)
+        for key, specs in per_config.items()
+    }
 
 
 def weighted_schedulability(points: Sequence[SchedulabilityPoint],

@@ -17,6 +17,24 @@ from ..errors import TaskModelError
 from .model import RTTask, TaskClass, TaskSet
 
 
+#: One generator per process, reseeded per work unit: campaign sweeps
+#: draw millions of variates, and reusing the Mersenne state avoids
+#: re-allocating a ``random.Random`` (2.5 KiB of state) per task set.
+_WORKER_RNG = random.Random()
+
+
+def seeded_rng(seed: int) -> random.Random:
+    """The process-local generator, deterministically reseeded.
+
+    ``seeded_rng(s)`` produces the same stream as ``random.Random(s)``;
+    callers must treat the returned generator as owned until their next
+    ``seeded_rng`` call (campaign units are sequential per worker, so
+    this holds by construction).
+    """
+    _WORKER_RNG.seed(seed)
+    return _WORKER_RNG
+
+
 def uunifast(n: int, total_utilization: float,
              rng: random.Random) -> list[float]:
     """Draw ``n`` utilisations summing to ``total_utilization``."""

@@ -302,3 +302,23 @@ def build_program(profile: WorkloadProfile,
 def trap_handler_address(program: Program) -> int | None:
     """Address of the generated trap handler, if the program has one."""
     return program.labels.get("_trap_handler")
+
+
+_PROGRAM_MEMO: dict[tuple[WorkloadProfile, GeneratorOptions], Program] = {}
+
+
+def cached_program(profile: WorkloadProfile,
+                   options: GeneratorOptions | None = None) -> Program:
+    """Per-process memo over :func:`build_program`.
+
+    Generation is pure — the program depends only on (profile, options)
+    — so campaign units that revisit a workload (e.g. Fig. 7's repeat
+    grid) assemble it once per worker instead of once per unit.
+    Callers must not mutate the returned program.
+    """
+    key = (profile, options or GeneratorOptions())
+    program = _PROGRAM_MEMO.get(key)
+    if program is None:
+        program = build_program(profile, options)
+        _PROGRAM_MEMO[key] = program
+    return program

@@ -1,0 +1,48 @@
+"""Module-level unit functions for campaign-engine tests.
+
+Pool workers import unit functions by ``module:qualname`` reference, so
+test units must live in an importable module rather than inside a test
+function body.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from pathlib import Path
+
+
+def echo_unit(spec: dict, rng_seed: int) -> dict:
+    return {"value": spec["value"] * 2, "rng_seed": rng_seed}
+
+
+def rng_unit(spec: dict, rng_seed: int) -> list[float]:
+    rng = random.Random(rng_seed)
+    return [rng.random() for _ in range(spec["n"])]
+
+
+def tuple_unit(spec: dict, rng_seed: int) -> tuple:
+    return (spec["value"], [1, (2, 3)])
+
+
+def touching_unit(spec: dict, rng_seed: int) -> int:
+    """Leaves one marker file per computation — proves cache hits skip
+    the unit body entirely, not just return equal values."""
+    marker = Path(spec["dir"]) / f"unit-{spec['i']}-{os.getpid()}"
+    with open(marker, "a") as fh:
+        fh.write("computed\n")
+    return spec["i"] * 10
+
+
+def none_unit(spec: dict, rng_seed: int) -> None:
+    """A unit whose legitimate result is None (must still cache-hit)."""
+    marker = Path(spec["dir"]) / f"none-{spec['i']}-{os.getpid()}"
+    with open(marker, "a") as fh:
+        fh.write("computed\n")
+    return None
+
+
+def failing_unit(spec: dict, rng_seed: int) -> int:
+    if spec["i"] == spec["fail_at"]:
+        raise RuntimeError(f"unit {spec['i']} exploded")
+    return spec["i"]

@@ -1,0 +1,207 @@
+"""Campaign-engine unit tests: seeding, ordering, caching, resume."""
+
+import random
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    ResultCache,
+    run_campaign,
+    spawn_seed,
+    unit_digest,
+)
+
+from . import _units
+
+
+class TestSpawnSeed:
+    def test_deterministic(self):
+        assert spawn_seed(7, "a", 1, 0.5) == spawn_seed(7, "a", 1, 0.5)
+
+    def test_sensitive_to_every_part(self):
+        base = spawn_seed(7, "a", 1)
+        assert spawn_seed(8, "a", 1) != base
+        assert spawn_seed(7, "b", 1) != base
+        assert spawn_seed(7, "a", 2) != base
+
+    def test_64_bit_range(self):
+        for i in range(50):
+            assert 0 <= spawn_seed(0, i) < 2 ** 64
+
+    def test_not_process_hash_dependent(self):
+        """The derivation must not involve ``hash()`` (which PYTHONHASHSEED
+        randomises for strings) — pin one value forever."""
+        assert spawn_seed(2025, "fig5-task-set", 8) \
+            == 9404082459758195154
+
+
+class TestDigest:
+    def test_key_order_canonical(self):
+        a = unit_digest("m:f", "1", 0, {"x": 1, "y": 2})
+        b = unit_digest("m:f", "1", 0, {"y": 2, "x": 1})
+        assert a == b
+
+    def test_version_invalidates(self):
+        spec = {"x": 1}
+        assert unit_digest("m:f", "1", 0, spec) \
+            != unit_digest("m:f", "2", 0, spec)
+
+
+class TestCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"v": [1.5, "x"]})
+        assert cache.get("ab" * 32) == {"v": [1.5, "x"]}
+        assert ("ab" * 32) in cache
+        assert len(cache) == 1
+
+    def test_miss(self, tmp_path):
+        assert ResultCache(tmp_path).get("cd" * 32) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for("ef" * 32)
+        path.parent.mkdir(parents=True)
+        path.write_text("{truncated")
+        assert cache.get("ef" * 32) is None
+        assert not path.exists()   # removed so a re-put can land
+
+
+class TestRunCampaign:
+    def test_results_in_spec_order(self):
+        specs = [{"value": v} for v in (5, 3, 9, 1)]
+        run = run_campaign(_units.echo_unit, specs, cache=None)
+        assert [r["value"] for r in run.results] == [10, 6, 18, 2]
+        assert run.stats.computed == 4
+        assert run.stats.cached == 0
+
+    def test_workers_equivalence(self):
+        specs = [{"n": 4, "i": i} for i in range(12)]
+        serial = run_campaign(_units.rng_unit, specs, seed=3, workers=1,
+                              cache=None)
+        parallel = run_campaign(_units.rng_unit, specs, seed=3, workers=3,
+                                cache=None)
+        assert serial.results == parallel.results
+        assert parallel.stats.workers == 3
+
+    def test_seed_changes_unit_streams(self):
+        specs = [{"n": 4, "i": i} for i in range(3)]
+        a = run_campaign(_units.rng_unit, specs, seed=1, cache=None)
+        b = run_campaign(_units.rng_unit, specs, seed=2, cache=None)
+        assert a.results != b.results
+
+    def test_rng_seed_matches_spawn_seed_contract(self):
+        """A unit's stream is reproducible outside the engine from
+        (campaign seed, fn ref, version, spec) alone."""
+        spec = {"n": 3, "i": 0}
+        run = run_campaign(_units.rng_unit, [spec], seed=11, cache=None)
+        expected_seed = spawn_seed(
+            11, "tests.campaign._units:rng_unit", "1", spec)
+        rng = random.Random(expected_seed)
+        assert run.results[0] == [rng.random() for _ in range(3)]
+
+    def test_tuples_normalise_identically(self, tmp_path):
+        specs = [{"value": 1}]
+        fresh = run_campaign(_units.tuple_unit, specs, cache=tmp_path)
+        cached = run_campaign(_units.tuple_unit, specs, cache=tmp_path)
+        assert fresh.results == cached.results == [[1, [1, [2, 3]]]]
+
+    def test_rejects_non_module_functions(self):
+        with pytest.raises(CampaignError):
+            run_campaign(lambda spec, seed: spec, [{}], cache=None)
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(CampaignError):
+            run_campaign(_units.echo_unit, [{"value": 1}], workers=0,
+                         cache=None)
+
+
+class TestCacheIntegration:
+    def test_second_run_recomputes_nothing(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        work_dir = tmp_path / "work"
+        work_dir.mkdir()
+        specs = [{"i": i, "dir": str(work_dir)} for i in range(6)]
+        first = run_campaign(_units.touching_unit, specs, cache=cache_dir)
+        markers = sorted(p.name for p in work_dir.iterdir())
+        assert first.stats.computed == 6
+        assert len(markers) == 6
+
+        second = run_campaign(_units.touching_unit, specs, cache=cache_dir,
+                              workers=2)
+        assert second.stats.computed == 0
+        assert second.stats.cached == 6
+        assert second.results == first.results
+        # zero recomputation: no unit body ran, so no new marker files
+        assert sorted(p.name for p in work_dir.iterdir()) == markers
+        for path in work_dir.iterdir():
+            assert path.read_text() == "computed\n"
+
+    def test_partial_failure_resumes(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        specs = [{"i": i, "fail_at": 3} for i in range(5)]
+        with pytest.raises(RuntimeError):
+            run_campaign(_units.failing_unit, specs, workers=1,
+                         cache=cache_dir)
+        # units before the failure were persisted...
+        healthy = [{"i": i, "fail_at": 3} for i in (0, 1, 2)]
+        resumed = run_campaign(_units.failing_unit, healthy, workers=1,
+                               cache=cache_dir)
+        assert resumed.stats.cached == 3
+        assert resumed.stats.computed == 0
+        assert resumed.results == [0, 1, 2]
+
+    def test_cache_disabled_by_none(self, tmp_path):
+        specs = [{"value": 1}]
+        run_campaign(_units.echo_unit, specs, cache=None)
+        assert len(ResultCache(tmp_path)) == 0
+
+    def test_none_payload_is_cached_not_recomputed(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        work_dir = tmp_path / "work"
+        work_dir.mkdir()
+        specs = [{"i": 0, "dir": str(work_dir)}]
+        first = run_campaign(_units.none_unit, specs, cache=cache_dir)
+        assert first.results == [None]
+        assert first.stats.computed == 1
+        second = run_campaign(_units.none_unit, specs, cache=cache_dir)
+        assert second.results == [None]
+        assert second.stats.computed == 0
+        assert second.stats.cached == 1
+        assert len(list(work_dir.iterdir())) == 1   # unit body ran once
+
+    def test_code_change_invalidates_cache(self, tmp_path, monkeypatch):
+        """The digest folds in a source-tree fingerprint: cached results
+        never survive a code edit, even without a version bump."""
+        import repro.campaign.engine as engine_mod
+        specs = [{"value": 1}]
+        assert run_campaign(_units.echo_unit, specs,
+                            cache=tmp_path).stats.computed == 1
+        assert run_campaign(_units.echo_unit, specs,
+                            cache=tmp_path).stats.computed == 0
+        monkeypatch.setattr(engine_mod, "_CODE_TOKEN", "deadbeef")
+        assert run_campaign(_units.echo_unit, specs,
+                            cache=tmp_path).stats.computed == 1
+
+    def test_code_token_does_not_move_rng_streams(self, monkeypatch):
+        """Spawn seeds depend on the declared version only: a source
+        edit must invalidate caches, not change random draws."""
+        import repro.campaign.engine as engine_mod
+        specs = [{"n": 4, "i": 0}]
+        before = run_campaign(_units.rng_unit, specs, seed=5, cache=None)
+        monkeypatch.setattr(engine_mod, "_CODE_TOKEN", "deadbeef")
+        after = run_campaign(_units.rng_unit, specs, seed=5, cache=None)
+        assert before.results == after.results
+
+
+class TestGroupedCampaign:
+    def test_slices_match_group_order(self):
+        from repro.campaign import run_grouped_campaign
+        groups = {"a": [{"value": 1}, {"value": 2}],
+                  "b": [{"value": 10}]}
+        sliced, stats = run_grouped_campaign(_units.echo_unit, groups,
+                                             cache=None)
+        assert [r["value"] for r in sliced["a"]] == [2, 4]
+        assert [r["value"] for r in sliced["b"]] == [20]
+        assert stats.total == 3

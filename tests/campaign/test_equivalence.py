@@ -1,0 +1,94 @@
+"""Workers=1 vs workers=N equivalence over real figure campaigns.
+
+The tentpole guarantee: fanning a sweep across a multiprocessing pool
+(or replaying it from the on-disk cache) changes wall-clock only —
+never a single bit of the results.
+"""
+
+import pytest
+
+from repro.analysis.latency import latency_suite
+from repro.sched import schedulability_curve
+from repro.sched.experiments import fig5_campaign
+from repro.workloads import PARSEC
+
+#: Shrunken Fig. 5 grid: small task sets keep one unit ~1 ms.
+FIG5_KW = dict(utilizations=(0.45, 0.65, 0.85), sets_per_point=8,
+               seed=424242)
+
+
+def _curve(workers, cache=None):
+    return schedulability_curve(m=4, n=24, alpha=0.25, beta=0.125,
+                                workers=workers, cache=cache, **FIG5_KW)
+
+
+def _fingerprint(points):
+    return [(p.utilization, sorted(p.ratios.items())) for p in points]
+
+
+class TestFig5Equivalence:
+    def test_workers_1_vs_4_bit_identical(self):
+        assert _fingerprint(_curve(1)) == _fingerprint(_curve(4))
+
+    def test_cache_hit_runs_zero_units(self, tmp_path):
+        first = _fingerprint(_curve(2, cache=tmp_path))
+        # every unit digest is now on disk: a second sweep is pure replay
+        from repro.campaign import run_campaign
+        from repro.sched.experiments import _fig5_specs, _fig5_unit
+        specs = _fig5_specs(m=4, n=24, alpha=0.25, beta=0.125,
+                            schemes=("lockstep", "hmr", "flexstep"),
+                            **FIG5_KW)
+        replay = run_campaign(_fig5_unit, specs, seed=FIG5_KW["seed"],
+                              cache=tmp_path)
+        assert replay.stats.computed == 0
+        assert replay.stats.cached == len(specs)
+        assert _fingerprint(_curve(1, cache=tmp_path)) == first
+
+    def test_campaign_grid_matches_per_config_curves(self):
+        """fig5_campaign (one flat grid) == schedulability_curve per
+        config (separate campaigns): flattening must not re-key seeds."""
+        curves = fig5_campaign(("a", "f"), cache=None, workers=2,
+                               utilizations=(0.55,), sets_per_point=6,
+                               seed=77)
+        from repro.sched import FIG5_CONFIGS
+        for key in ("a", "f"):
+            cfg = FIG5_CONFIGS[key]
+            alone = schedulability_curve(
+                m=cfg["m"], n=cfg["n"], alpha=cfg["alpha"],
+                beta=cfg["beta"], utilizations=(0.55,), sets_per_point=6,
+                seed=77, cache=None)
+            assert _fingerprint(curves[key]) == _fingerprint(alone)
+
+
+class TestFig7Equivalence:
+    @pytest.fixture(scope="class")
+    def suites(self):
+        kwargs = dict(target_instructions=20_000, segment_interval=2,
+                      repeats=2, cache=None)
+        serial = latency_suite(PARSEC[:2], workers=1, **kwargs)
+        parallel = latency_suite(PARSEC[:2], workers=4, **kwargs)
+        return serial, parallel
+
+    def test_same_curves(self, suites):
+        serial, parallel = suites
+        for a, b in zip(serial, parallel):
+            assert a.workload == b.workload
+            assert a.injected == b.injected > 0
+            assert a.detected == b.detected
+            assert a.latencies_us == b.latencies_us
+            assert [vars(r) for r in a.records] \
+                == [vars(r) for r in b.records]
+
+    def test_same_latency_histogram(self, suites):
+        serial, parallel = suites
+        for a, b in zip(serial, parallel):
+            assert a.histogram().counts == b.histogram().counts
+
+    def test_cached_replay_identical(self, tmp_path):
+        kwargs = dict(target_instructions=20_000, repeats=1,
+                      cache=tmp_path)
+        fresh = latency_suite(PARSEC[:1], workers=1, **kwargs)
+        replay = latency_suite(PARSEC[:1], workers=1, **kwargs)
+        assert fresh[0].latencies_us == replay[0].latencies_us
+        assert [vars(r) for r in fresh[0].records] \
+            == [vars(r) for r in replay[0].records]

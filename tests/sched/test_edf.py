@@ -116,6 +116,98 @@ class TestQpa:
             assert qpa_schedulable(tasks)
 
 
+def _deadlines_reference(tasks, limit, max_points=200_000):
+    """The seed repo's set-based step-point enumeration, kept verbatim
+    as the behavioural reference for the optimised implementation."""
+    points = set()
+    for task in tasks:
+        d = task.deadline
+        while d <= limit + 1e-12:
+            points.add(d)
+            if len(points) > max_points:
+                raise AnalysisError("too many points")
+            d += task.period
+    return sorted(points)
+
+
+def _random_demand_tasks(seed):
+    rng = random.Random(seed)
+    tasks = []
+    for _ in range(rng.randint(2, 10)):
+        period = rng.uniform(4.0, 60.0)
+        deadline = rng.uniform(period * 0.4, period)
+        wcet = rng.uniform(0.05, 0.5) * deadline
+        tasks.append(DemandTask(wcet=wcet, deadline=deadline,
+                                period=period))
+    return tasks
+
+
+class TestDeadlinePointEnumeration:
+    """The optimised ``_deadlines_up_to`` (sort once + single dedupe
+    pass instead of per-insert set hashing) must emit exactly the seed
+    repo's points, so QPA verdicts cannot move."""
+
+    def test_points_match_reference_on_corpus(self):
+        from repro.sched.edf import _deadlines_up_to
+        for seed in range(60):
+            tasks = _random_demand_tasks(seed)
+            limit = max(t.deadline for t in tasks) * 7.5
+            assert _deadlines_up_to(tasks, limit) \
+                == _deadlines_reference(tasks, limit), seed
+
+    def test_duplicate_deadlines_collapse(self):
+        from repro.sched.edf import _deadlines_up_to
+        tasks = [DemandTask(wcet=1, deadline=5, period=10),
+                 DemandTask(wcet=2, deadline=5, period=10),
+                 DemandTask(wcet=1, deadline=5, period=5)]
+        points = _deadlines_up_to(tasks, 30.0)
+        assert points == sorted(set(points))
+        assert points == _deadlines_reference(tasks, 30.0)
+
+    def test_verdicts_unchanged_on_fixed_corpus(self, monkeypatch):
+        """QPA accept/reject over a fixed seed corpus: identical with
+        the optimised and the seed enumeration wired in."""
+        import repro.sched.edf as edf_mod
+        verdicts = []
+        for seed in range(40):
+            tasks = _random_demand_tasks(seed)
+            try:
+                verdicts.append(qpa_schedulable(tasks))
+            except AnalysisError:
+                verdicts.append(None)
+        # the corpus must exercise both outcomes to mean anything
+        assert True in verdicts and False in verdicts
+        monkeypatch.setattr(
+            edf_mod, "_deadlines_up_to",
+            lambda tasks, limit, max_points=200_000:
+            _deadlines_reference(tasks, limit, max_points))
+        for seed, expected in zip(range(40), verdicts):
+            tasks = _random_demand_tasks(seed)
+            try:
+                again = qpa_schedulable(tasks)
+            except AnalysisError:
+                again = None
+            assert again == expected, seed
+
+    def test_pathological_enumeration_still_raises(self):
+        from repro.sched.edf import _deadlines_up_to
+        tasks = [DemandTask(wcet=0.1, deadline=1.0, period=1.0)]
+        with pytest.raises(AnalysisError):
+            _deadlines_up_to(tasks, 1e9, max_points=1000)
+
+    def test_duplicate_heavy_sets_count_distinct_points(self):
+        """Ten aligned tasks emit 10× raw points but few distinct ones:
+        the cap must bound *distinct* points (seed semantics), so this
+        succeeds even though raw appends exceed max_points."""
+        from repro.sched.edf import _deadlines_up_to
+        tasks = [DemandTask(wcet=0.05, deadline=1.0, period=1.0)
+                 for _ in range(10)]
+        points = _deadlines_up_to(tasks, 3000.0, max_points=5000)
+        assert points == _deadlines_reference(tasks, 3000.0,
+                                              max_points=5000)
+        assert len(points) == 3000
+
+
 class TestPartitionBridge:
     def test_flexstep_virtual_windows_used(self):
         ts = generate_task_set(10, 1.0, alpha=0.3, beta=0.0,

@@ -1,13 +1,18 @@
 """Fig. 5 experiment driver tests, including the paper's ordering
 claims as statistical properties."""
 
+import random
+
 import pytest
 
-from repro.sched import FIG5_CONFIGS, schedulability_curve
+from repro.sched import FIG5_CONFIGS, schedulability_curve, task_set_seed
 from repro.sched.experiments import (
+    SCHEMES,
+    _fig5_unit,
     render_curves,
     weighted_schedulability,
 )
+from repro.sched.uunifast import generate_task_set, seeded_rng
 
 
 @pytest.fixture(scope="module")
@@ -66,6 +71,64 @@ class TestCurveDriver:
         text = render_curves(curve_a)
         for token in ("lockstep", "hmr", "flexstep", "0.35"):
             assert token in text
+
+
+class TestSpawnKeyDeterminism:
+    """Satellite: one spawn-key seeding scheme shared by the serial
+    path, the campaign layer and any external reproduction."""
+
+    SPEC = {"m": 4, "n": 16, "alpha": 0.25, "beta": 0.0, "x": 0.6,
+            "set": 3, "seed": 314, "schemes": ["lockstep", "flexstep"]}
+
+    def test_task_set_reproducible_from_spawn_key(self):
+        """The exact task set a campaign unit judges can be rebuilt from
+        ``task_set_seed`` alone — no campaign machinery required."""
+        verdicts = _fig5_unit(self.SPEC, rng_seed=0)
+        s = self.SPEC
+        rebuilt = generate_task_set(
+            s["n"], s["x"] * s["m"], alpha=s["alpha"], beta=s["beta"],
+            rng=random.Random(task_set_seed(
+                s["seed"], s["m"], s["n"], s["alpha"], s["beta"],
+                s["x"], s["set"])))
+        assert verdicts == {
+            scheme: SCHEMES[scheme](rebuilt, s["m"]).success
+            for scheme in s["schemes"]}
+
+    def test_scheme_subset_judges_identical_task_sets(self):
+        """Task-set identity derives from generation parameters only:
+        judging with fewer schemes must not change the sets."""
+        all_schemes = _fig5_unit(self.SPEC, rng_seed=0)
+        subset = _fig5_unit({**self.SPEC, "schemes": ["flexstep"]},
+                            rng_seed=0)
+        assert subset["flexstep"] == all_schemes["flexstep"]
+
+    def test_seeded_rng_matches_fresh_random(self):
+        stream = seeded_rng(98765)
+        fresh = random.Random(98765)
+        assert [stream.random() for _ in range(20)] \
+            == [fresh.random() for _ in range(20)]
+
+    def test_curve_is_deterministic_across_calls(self):
+        kwargs = dict(m=4, n=16, alpha=0.25, beta=0.0,
+                      utilizations=(0.5, 0.7), sets_per_point=10,
+                      seed=17, cache=None)
+        a = schedulability_curve(**kwargs)
+        b = schedulability_curve(**kwargs)
+        assert [(p.utilization, p.ratios) for p in a] \
+            == [(p.utilization, p.ratios) for p in b]
+
+    def test_sets_independent_of_point_count(self):
+        """Set i at utilisation x is the same task set whether the sweep
+        has 1 point or 13 — spawn keys, not shared RNG streams."""
+        wide = schedulability_curve(
+            m=4, n=16, alpha=0.25, beta=0.0,
+            utilizations=(0.5, 0.6, 0.7), sets_per_point=8, seed=21,
+            cache=None)
+        narrow = schedulability_curve(
+            m=4, n=16, alpha=0.25, beta=0.0, utilizations=(0.6,),
+            sets_per_point=8, seed=21, cache=None)
+        wide_at = {p.utilization: p.ratios for p in wide}
+        assert wide_at[0.6] == narrow[0].ratios
 
 
 class TestTripleCheckPressure:
