@@ -10,7 +10,9 @@ speedup with one command::
 
 ``--bench engine`` (default) measures execution-engine throughput into
 ``BENCH_engine.json``; ``--bench campaign`` measures the Fig. 5 sweep
-under the parallel campaign engine into ``BENCH_campaign.json``.
+under the parallel campaign engine into ``BENCH_campaign.json``;
+``--bench scenarios`` measures scenario-catalog wall-clock and
+cached-replay speedup into ``BENCH_scenarios.json``.
 
 Defaults come from the ``REPRO_BENCH_*`` environment variables (see
 ``repro/perfbench.py`` and ``repro/campaign/bench.py``); flags override
@@ -32,6 +34,7 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro import perfbench  # noqa: E402  (needs the sys.path insert)
 from repro.campaign import bench as campaign_bench  # noqa: E402
+from repro.scenarios import bench as scenario_bench  # noqa: E402
 
 
 def _run_engine(args: argparse.Namespace) -> int:
@@ -89,12 +92,46 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return status
 
 
+def _run_scenarios(args: argparse.Namespace) -> int:
+    names = None
+    if args.scenarios:
+        names = [key.strip() for key in args.scenarios.split(",")
+                 if key.strip()]
+    record = scenario_bench.run_scenario_benchmark(
+        names=names, workers=args.workers, label=args.label)
+    print(scenario_bench.format_record(record))
+    status = 0
+    if not (record["zero_recompute"] and record["replay_identical"]):
+        print("ERROR: cached replay recomputed units or diverged from "
+              "the cold run — determinism regression", file=sys.stderr)
+        status = 1
+    threshold = scenario_bench.min_replay_speedup(3.0)
+    if record["replay_speedup"] < threshold:
+        if campaign_bench.strict_enabled():
+            print(f"ERROR: replay speedup {record['replay_speedup']}x "
+                  f"below the {threshold}x target "
+                  "(REPRO_BENCH_STRICT set)", file=sys.stderr)
+            status = 1
+        else:
+            print(f"note: replay speedup {record['replay_speedup']}x "
+                  f"below the {threshold}x target on this host; set "
+                  "REPRO_BENCH_STRICT=1 to make this fatal",
+                  file=sys.stderr)
+    if args.dry_run:
+        return status
+    path = perfbench.append_record(record, args.output,
+                                   bench="scenarios")
+    print(f"\nappended record to {path}")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run a repo benchmark and append the record to its "
                     "perf trajectory file.")
     parser.add_argument(
-        "--bench", choices=("engine", "campaign"), default="engine",
+        "--bench", choices=("engine", "campaign", "scenarios"),
+        default="engine",
         help="which benchmark to run (default: engine)")
     parser.add_argument(
         "--label", default=os.environ.get("REPRO_BENCH_LABEL", ""),
@@ -128,10 +165,17 @@ def main(argv: list[str] | None = None) -> int:
     campaign.add_argument(
         "--workers", type=int, default=None,
         help="parallel worker count (default REPRO_WORKERS or cpu_count)")
+    scenarios = parser.add_argument_group("scenarios bench")
+    scenarios.add_argument(
+        "--scenarios", default=None,
+        help="comma-separated catalog scenario names (default: "
+             f"{','.join(scenario_bench.DEFAULT_SCENARIOS)})")
     args = parser.parse_args(argv)
 
     if args.bench == "campaign":
         return _run_campaign(args)
+    if args.bench == "scenarios":
+        return _run_scenarios(args)
     return _run_engine(args)
 
 

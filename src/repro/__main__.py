@@ -1,0 +1,146 @@
+"""``python -m repro`` — the scenario-catalog command line.
+
+Subcommands::
+
+    python -m repro list                     # the scenario catalog
+    python -m repro run --scenario NAME      # run + print + save report
+    python -m repro run --all                # every catalog entry
+    python -m repro report [NAME ...]        # re-render saved reports
+
+``run`` executes through the campaign engine, so ``REPRO_WORKERS``
+controls the fan-out and ``REPRO_CACHE_DIR`` the result cache; results
+are bit-identical for any worker count and replay from a warm cache
+without recomputation.  Reports land in ``REPRO_REPORT_DIR`` (default
+``<repo>/.repro_reports``) as JSON documents embedding the exact
+scenario that produced them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .scenarios import (
+    CATALOG,
+    default_report_dir,
+    get_scenario,
+    load_result,
+    render_catalog,
+    render_report,
+    run_scenario,
+    saved_results,
+)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print(render_catalog(list(CATALOG.values())))
+    return 0
+
+
+def _scaled(scenario, args: argparse.Namespace):
+    """Apply the CLI's quick-scaling overrides to a catalog scenario."""
+    overrides = {}
+    if args.instructions is not None:
+        overrides["target_instructions"] = args.instructions
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.sets is not None:
+        import dataclasses
+        overrides["sched"] = dataclasses.replace(
+            scenario.sched, sets_per_point=args.sets)
+    return scenario.replace(**overrides) if overrides else scenario
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.all:
+        names = list(CATALOG)
+    elif args.scenario:
+        names = args.scenario
+    else:
+        print("run: pass --scenario NAME (repeatable) or --all",
+              file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else "auto"
+    for name in names:
+        scenario = _scaled(get_scenario(name), args)
+        result = run_scenario(scenario, workers=args.workers,
+                              cache=cache, seed=args.seed)
+        print(result.render())
+        if not args.dry_run:
+            path = result.save(args.report_dir)
+            print(f"saved {path}")
+        stats = result.stats
+        print(f"({stats.computed} computed, {stats.cached} cached, "
+              f"{stats.workers} worker(s), {stats.seconds:.2f}s)\n")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    directory = args.report_dir or default_report_dir()
+    names = args.names or saved_results(directory)
+    if not names:
+        print(f"no saved reports under {directory}; "
+              "run `python -m repro run --scenario NAME` first",
+              file=sys.stderr)
+        return 1
+    status = 0
+    for name in names:
+        try:
+            doc = load_result(name, directory)
+        except FileNotFoundError:
+            print(f"no saved report for {name!r} under {directory}",
+                  file=sys.stderr)
+            status = 1
+            continue
+        print(render_report(doc))
+        print()
+    return status
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run named experiment scenarios through the "
+                    "parallel campaign engine.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the scenario catalog")
+
+    run = sub.add_parser("run", help="run scenarios and save reports")
+    run.add_argument("--scenario", action="append", metavar="NAME",
+                     help="catalog scenario to run (repeatable)")
+    run.add_argument("--all", action="store_true",
+                     help="run every catalog scenario")
+    run.add_argument("--workers", type=int, default=None,
+                     help="campaign workers (default REPRO_WORKERS "
+                          "or cpu_count)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the scenario's built-in seed")
+    run.add_argument("--no-cache", action="store_true",
+                     help="bypass the campaign result cache")
+    run.add_argument("--dry-run", action="store_true",
+                     help="print the tables without saving a report")
+    run.add_argument("--report-dir", default=None,
+                     help="report directory (default REPRO_REPORT_DIR "
+                          "or <repo>/.repro_reports)")
+    run.add_argument("--instructions", type=int, default=None,
+                     help="override target_instructions (quick scaling)")
+    run.add_argument("--repeats", type=int, default=None,
+                     help="override fault-injection repeats")
+    run.add_argument("--sets", type=int, default=None,
+                     help="override sched sets_per_point")
+
+    report = sub.add_parser("report", help="re-render saved reports")
+    report.add_argument("names", nargs="*", metavar="NAME",
+                        help="scenario names (default: all saved)")
+    report.add_argument("--report-dir", default=None,
+                        help="report directory to read")
+
+    args = parser.parse_args(argv)
+    handler = {"list": _cmd_list, "run": _cmd_run,
+               "report": _cmd_report}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,9 +18,20 @@ from .slowdown import (
     slowdown_suite,
     verification_mode_comparison,
 )
-from .latency import LatencyResult, detection_latency_experiment
+from .latency import (
+    LatencyResult,
+    detection_latency_experiment,
+    latency_suite,
+    merge_latency_units,
+)
 from .power import PowerAreaModel, PowerAreaPoint, scalability_sweep
-from .reporting import format_fig4, format_fig6, format_fig8, format_table3
+from .reporting import (
+    format_fault_summary,
+    format_fig4,
+    format_fig6,
+    format_fig8,
+    format_table3,
+)
 
 __all__ = [
     "SlowdownRow",
@@ -31,9 +42,12 @@ __all__ = [
     "verification_mode_comparison",
     "LatencyResult",
     "detection_latency_experiment",
+    "latency_suite",
+    "merge_latency_units",
     "PowerAreaModel",
     "PowerAreaPoint",
     "scalability_sweep",
+    "format_fault_summary",
     "format_fig4",
     "format_fig6",
     "format_fig8",

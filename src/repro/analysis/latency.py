@@ -1,4 +1,5 @@
-"""Error-detection latency experiment (paper Fig. 7).
+"""Error-detection latency experiment (paper Fig. 7) and the general
+fault-injection campaign unit behind the scenario catalog.
 
 Reproduces Sec. VI-C: faults are injected into the forwarded data
 (MAL entries, ASS checkpoint words) without disturbing the main core;
@@ -19,6 +20,13 @@ fault seed is fixed by the spec (``seed + 1000 · rep``, the seed repo's
 formula), so the latency samples are bit-identical to the serial path
 for any worker count, and a whole Fig. 7 suite fans its profile ×
 repeat grid across cores in a single pool.
+
+Beyond the paper's fixed grid, the unit is parameterised over the full
+fault model (multi-bit bursts, per-segment arming rate, checker-side
+vs main-side injection) and over the SoC topology (``pairs``
+main/checker groups co-simulated on one die, ``checkers`` per main,
+FIFO depth) — the knobs :mod:`repro.scenarios` composes into named
+scenarios.
 """
 
 from __future__ import annotations
@@ -30,7 +38,12 @@ from typing import Sequence
 
 from ..campaign import run_campaign, run_grouped_campaign
 from ..config import SoCConfig
-from ..flexstep.faults import FaultInjector, FaultRecord, FaultTarget
+from ..flexstep.faults import (
+    FaultInjector,
+    FaultRecord,
+    FaultTarget,
+    install_injector,
+)
 from ..flexstep.soc import FlexStepSoC
 from ..sim.stats import Histogram, percentile
 from ..workloads.generator import GeneratorOptions, cached_program
@@ -49,10 +62,21 @@ DEFAULT_DMA_SPILL = 4_096
 #: Single source of the Fig. 7 experiment defaults, shared by
 #: :func:`detection_latency_experiment`'s signature and
 #: :func:`latency_suite`'s option merging — one place to change.
+#: The fault-model/topology generalisation keys (``burst_bits``,
+#: ``segment_rate``, ``side``, ``pairs``, ``checkers``,
+#: ``fifo_entries``) default to the paper's setup: single-bit faults on
+#: a fixed every-other-segment schedule, injected checker-side into one
+#: dual-core pair with the Table II FIFO depth.
 FIG7_DEFAULTS: dict = {
     "target_instructions": 60_000,
     "target": FaultTarget.ANY,
     "segment_interval": 2,
+    "segment_rate": None,
+    "burst_bits": 1,
+    "side": "checker",
+    "pairs": 1,
+    "checkers": 1,
+    "fifo_entries": None,
     "service_pause_cycles": DEFAULT_SERVICE_PAUSE,
     "dma_spill_entries": DEFAULT_DMA_SPILL,
     "seed": 7,
@@ -69,6 +93,12 @@ class LatencyResult:
     detected: int
     injected: int
     records: list[FaultRecord] = field(default_factory=list)
+    #: Armed segments that closed without an eligible packet (the
+    #: injector re-armed the following segment for each).
+    armed_unfired: int = 0
+    #: Records whose segment failed *before* their injection — surfaced
+    #: rather than folded into the latency distribution.
+    misattributed: int = 0
 
     @property
     def detection_rate(self) -> float:
@@ -96,40 +126,90 @@ class LatencyResult:
 
 
 def _fig7_unit(spec: dict, rng_seed: int) -> dict:
-    """One work unit: one fault-injection repetition of one workload."""
+    """One work unit: one fault-injection repetition of one workload.
+
+    ``pairs`` main/checker groups run the same workload concurrently on
+    one co-simulated die (``pairs × (1 + checkers)`` cores); each pair
+    gets its own injector and fault stream, and is resolved against its
+    own checkers' results (segment ids are per-main-core).
+
+    The die has one shared memory, so co-running pairs contend on the
+    workload's working set (deterministically — arbitration order is
+    fixed): multi-pair latency measures detection under full-die
+    contention, not an isolated replica of the single-pair run.
+    Checkers replay from forwarded MAL data, so contention never
+    causes false detections.
+    """
     del rng_seed   # the fault seed is part of the spec (seed repo formula)
     profile = WorkloadProfile(**spec["profile"])
     program = cached_program(
         profile,
         GeneratorOptions(target_instructions=spec["target_instructions"]))
-    config = SoCConfig(num_cores=2).with_flexstep(
-        dma_spill_entries=spec["dma_spill_entries"])
+    pairs = spec.get("pairs", 1)
+    checkers = spec.get("checkers", 1)
+    group = 1 + checkers
+    flex_overrides = {"dma_spill_entries": spec["dma_spill_entries"]}
+    if spec.get("fifo_entries"):
+        flex_overrides["fifo_entries"] = spec["fifo_entries"]
+    config = SoCConfig(num_cores=pairs * group).with_flexstep(
+        **flex_overrides)
     soc = FlexStepSoC(config)
-    soc.load_program(0, program)
-    soc.cores[1].load_program(program)
-    soc.setup_verification(0, [1])
-    soc.engine_of(1).segment_service_pause = spec["service_pause_cycles"]
-    channel = soc.interconnect.channels_of(0)[0]
-    injector = FaultInjector(
-        channel, target=FaultTarget(spec["target"]),
-        segment_interval=spec["segment_interval"],
-        rng=random.Random(spec["fault_seed"]))
+    # G.Configure writes the whole attribute register at once, so all
+    # pairs' roles are declared in one call before associating each.
+    mains = [p * group for p in range(pairs)]
+    engines_of_pair = [[m + 1 + i for i in range(checkers)]
+                       for m in mains]
+    soc.control.configure(mains, [cid for ids in engines_of_pair
+                                  for cid in ids])
+    injectors: list[FaultInjector] = []
+    for p, (main, checker_ids) in enumerate(zip(mains, engines_of_pair)):
+        soc.load_program(main, program)
+        for cid in checker_ids:
+            soc.cores[cid].load_program(program)
+        soc.control.associate(main, checker_ids)
+        soc.control.check_enable(main)
+        for cid in checker_ids:
+            soc.control.check_state(cid, busy=True)
+            soc.engine_of(cid).segment_service_pause = \
+                spec["service_pause_cycles"]
+        injectors.append(install_injector(
+            soc, main,
+            side=spec.get("side", "checker"),
+            target=FaultTarget(spec["target"]),
+            segment_interval=spec["segment_interval"],
+            segment_rate=spec.get("segment_rate"),
+            burst_bits=spec.get("burst_bits", 1),
+            rng=random.Random(spec["fault_seed"] + 7919 * p)))
     soc.run()
-    injector.resolve(soc.all_results())
+    latencies: list[float] = []
+    records: list[FaultRecord] = []
+    armed_unfired = 0
+    for injector, checker_ids in zip(injectors, engines_of_pair):
+        results = []
+        for cid in checker_ids:
+            results.extend(soc.engine_of(cid).results)
+        injector.resolve(results)
+        latencies.extend(soc.cycles_us(c)
+                         for c in injector.latencies_cycles())
+        records.extend(injector.records)
+        armed_unfired += injector.armed_unfired
     return {
-        "latencies_us": [soc.cycles_us(c)
-                         for c in injector.latencies_cycles()],
-        "detected": sum(r.detected for r in injector.records),
-        "injected": len(injector.records),
-        "records": [r.to_dict() for r in injector.records],
+        "latencies_us": latencies,
+        "detected": sum(r.detected for r in records),
+        "injected": len(records),
+        "armed_unfired": armed_unfired,
+        "misattributed": sum(r.misattributed for r in records),
+        "records": [r.to_dict() for r in records],
     }
 
 
-_fig7_unit.campaign_version = "1"
+_fig7_unit.campaign_version = "2"
 
 
 def _fig7_specs(profile: WorkloadProfile, *, target_instructions: int,
                 target: FaultTarget, segment_interval: int,
+                segment_rate: float | None, burst_bits: int, side: str,
+                pairs: int, checkers: int, fifo_entries: int | None,
                 service_pause_cycles: int, dma_spill_entries: int,
                 seed: int, repeats: int) -> list[dict]:
     return [
@@ -137,6 +217,12 @@ def _fig7_specs(profile: WorkloadProfile, *, target_instructions: int,
          "target_instructions": target_instructions,
          "target": target.value,
          "segment_interval": segment_interval,
+         "segment_rate": segment_rate,
+         "burst_bits": burst_bits,
+         "side": side,
+         "pairs": pairs,
+         "checkers": checkers,
+         "fifo_entries": fifo_entries,
          "service_pause_cycles": service_pause_cycles,
          "dma_spill_entries": dma_spill_entries,
          "fault_seed": seed + 1000 * rep,
@@ -145,50 +231,54 @@ def _fig7_specs(profile: WorkloadProfile, *, target_instructions: int,
     ]
 
 
-def _merge_units(workload: str, payloads: Sequence[dict]) -> LatencyResult:
+def merge_latency_units(workload: str,
+                        payloads: Sequence[dict]) -> LatencyResult:
+    """Fold per-repetition unit payloads into one distribution."""
     latencies: list[float] = []
     records: list[FaultRecord] = []
     detected = 0
     injected = 0
+    armed_unfired = 0
+    misattributed = 0
     for payload in payloads:
         latencies.extend(payload["latencies_us"])
         detected += payload["detected"]
         injected += payload["injected"]
+        armed_unfired += payload.get("armed_unfired", 0)
+        misattributed += payload.get("misattributed", 0)
         records.extend(FaultRecord.from_dict(raw)
                        for raw in payload["records"])
     return LatencyResult(workload=workload, latencies_us=latencies,
                          detected=detected, injected=injected,
-                         records=records)
+                         records=records, armed_unfired=armed_unfired,
+                         misattributed=misattributed)
 
 
 def detection_latency_experiment(
         profile: WorkloadProfile, *,
-        target_instructions: int = FIG7_DEFAULTS["target_instructions"],
-        target: FaultTarget = FIG7_DEFAULTS["target"],
-        segment_interval: int = FIG7_DEFAULTS["segment_interval"],
-        service_pause_cycles: int = FIG7_DEFAULTS["service_pause_cycles"],
-        dma_spill_entries: int = FIG7_DEFAULTS["dma_spill_entries"],
-        seed: int = FIG7_DEFAULTS["seed"],
-        repeats: int = FIG7_DEFAULTS["repeats"],
         workers: int | None = None,
-        cache: object = "auto") -> LatencyResult:
+        cache: object = "auto",
+        **kwargs) -> LatencyResult:
     """Inject faults into one workload's verification stream.
 
-    ``segment_interval`` arms every N-th segment with one fault, so a
-    single run yields many independent latency samples; ``repeats``
-    reruns with different fault seeds to grow the sample count (the
-    paper uses 5 000–10 000 faults per workload; scale ``repeats`` and
-    ``target_instructions`` to taste).  Repetitions are independent
-    work units and fan out across ``workers`` processes.
+    Options default to :data:`FIG7_DEFAULTS`.  ``segment_interval``
+    arms every N-th segment with one fault (``segment_rate`` arms each
+    segment with a probability instead), so a single run yields many
+    independent latency samples; ``repeats`` reruns with different
+    fault seeds to grow the sample count (the paper uses 5 000–10 000
+    faults per workload; scale ``repeats`` and ``target_instructions``
+    to taste).  Repetitions are independent work units and fan out
+    across ``workers`` processes.
     """
-    specs = _fig7_specs(
-        profile, target_instructions=target_instructions, target=target,
-        segment_interval=segment_interval,
-        service_pause_cycles=service_pause_cycles,
-        dma_spill_entries=dma_spill_entries, seed=seed, repeats=repeats)
-    run = run_campaign(_fig7_unit, specs, seed=seed, workers=workers,
-                       cache=cache)
-    return _merge_units(profile.name, run.results)
+    unknown = set(kwargs) - set(FIG7_DEFAULTS)
+    if unknown:
+        raise TypeError(
+            f"detection_latency_experiment got unknown options {unknown}")
+    options = {**FIG7_DEFAULTS, **kwargs}
+    specs = _fig7_specs(profile, **options)
+    run = run_campaign(_fig7_unit, specs, seed=options["seed"],
+                       workers=workers, cache=cache)
+    return merge_latency_units(profile.name, run.results)
 
 
 def latency_suite(profiles: Sequence[WorkloadProfile],
@@ -212,5 +302,5 @@ def latency_suite(profiles: Sequence[WorkloadProfile],
     sliced, _stats = run_grouped_campaign(
         _fig7_unit, groups, seed=options["seed"], workers=workers,
         cache=cache)
-    return [_merge_units(profile.name, sliced[profile.name])
+    return [merge_latency_units(profile.name, sliced[profile.name])
             for profile in profiles]

@@ -31,9 +31,11 @@ def format_fig4(rows: Sequence[SlowdownRow], title: str) -> str:
     return "\n".join(lines)
 
 
-def format_fig6(rows: Sequence[ModeRow]) -> str:
+def format_fig6(rows: Sequence[ModeRow],
+                title: str = "Fig. 6: FlexStep slowdown by verification "
+                             "mode (Parsec)") -> str:
     """Fig. 6-style dual/triple mode slowdown table."""
-    lines = ["Fig. 6: FlexStep slowdown by verification mode (Parsec)",
+    lines = [title,
              f"{'workload':<16}{'dual-core':>11}{'triple-core':>13}"]
     for r in rows:
         lines.append(f"{r.workload:<16}{r.dual:>11.4f}{r.triple:>13.4f}")
@@ -49,6 +51,28 @@ def format_fig7(results: Sequence[LatencyResult]) -> str:
         lines.append(
             f"{r.workload:<16}{len(r.latencies_us):>8}"
             f"{100 * r.detection_rate:>8.1f}%"
+            f"{r.mean_us:>8.1f}{r.p99_us:>8.1f}{r.max_us:>8.1f}")
+    return "\n".join(lines)
+
+
+def format_fault_summary(results: Sequence[LatencyResult],
+                         title: str = "Error-detection latency (µs)",
+                         ) -> str:
+    """Scenario-grade fault-injection table.
+
+    Extends the Fig. 7 columns with the accounting the injector now
+    surfaces: armed-but-unfired segments (re-armed, never dropped) and
+    mis-attributed records (segment failed before the injection).
+    """
+    lines = [title,
+             f"{'workload':<16}{'injected':>9}{'detect%':>9}"
+             f"{'unfired':>8}{'misattr':>8}"
+             f"{'mean':>8}{'p99':>8}{'max':>8}"]
+    for r in results:
+        lines.append(
+            f"{r.workload:<16}{r.injected:>9}"
+            f"{100 * r.detection_rate:>8.1f}%"
+            f"{r.armed_unfired:>8}{r.misattributed:>8}"
             f"{r.mean_us:>8.1f}{r.p99_us:>8.1f}{r.max_us:>8.1f}")
     return "\n".join(lines)
 

@@ -98,6 +98,16 @@ class VerificationMismatch(FlexStepError):
     """
 
 
+class FaultAccountingError(FlexStepError):
+    """Fault-injection bookkeeping is inconsistent.
+
+    Raised when a detection is attributed to a fault that cannot have
+    caused it (e.g. the checker flagged the segment *before* the fault
+    was injected) — a sample that must be surfaced, never silently
+    clamped into the latency distribution.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Kernel / OS layer
 # ---------------------------------------------------------------------------

@@ -27,7 +27,7 @@ from .dbc import Channel, SystemInterconnect
 from .rcpm import MainCoreAdapter
 from .checker import CheckerEngine, SegmentResult, CheckerState
 from .soc import CoreAttr, FlexStepSoC, FlexStepControl
-from .faults import FaultInjector, FaultRecord, FaultTarget
+from .faults import FaultInjector, FaultRecord, FaultTarget, install_injector
 
 __all__ = [
     "EcpPacket",
@@ -49,4 +49,5 @@ __all__ = [
     "FaultInjector",
     "FaultRecord",
     "FaultTarget",
+    "install_injector",
 ]

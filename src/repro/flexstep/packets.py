@@ -102,6 +102,19 @@ class EcpPacket(Packet):
         return -(-self.snapshot.size_bytes // ENTRY_BYTES)
 
 
+def flip_bits_in_packet(packet: Packet, word_index: int,
+                        bits: "tuple[int, ...]") -> Packet:
+    """Return a copy of ``packet`` with several bits flipped in one
+    payload word — the multi-bit-burst fault primitive.  Flipping the
+    same word twice with the same mask restores it, so callers pass
+    distinct bit positions.
+    """
+    out = packet
+    for bit in bits:
+        out = flip_bit_in_packet(out, word_index, bit)
+    return out
+
+
 def flip_bit_in_packet(packet: Packet, word_index: int, bit: int) -> Packet:
     """Return a copy of ``packet`` with one bit flipped in one payload
     word — the fault-injection primitive (paper Sec. VI-C injects into

@@ -1,0 +1,46 @@
+"""Declarative experiment scenarios over the campaign engine.
+
+The paper's evaluation is a fixed grid — four Table II configurations,
+six workloads, one fault model.  This package turns that grid into a
+*vocabulary*: a :class:`~repro.scenarios.spec.Scenario` composes an
+SoC topology (2–32 cores of main/checker groups), a workload mix, a
+fault model (target field, multi-bit bursts, per-segment rate,
+checker-side vs main-side) and a scheduling grid, and compiles into
+campaign work units — so every scenario inherits the multiprocessing
+fan-out, SHA-256 spawn-seeding and content-addressed caching of
+:mod:`repro.campaign` (bit-identical for any worker count, replayable
+from cache with zero recomputation).
+
+``CATALOG`` ships ≥8 curated scenarios: the paper figures re-expressed
+plus burst faults, sparse Poisson arrival, checker starvation,
+main-side triple-modular faults, a 32-core die and a mixed-criticality
+grid.  The ``python -m repro`` CLI (``list`` / ``run`` / ``report``)
+is the user-facing face of this package.
+"""
+
+from .catalog import CATALOG, get_scenario
+from .report import render_catalog, render_report
+from .runner import (
+    ScenarioResult,
+    default_report_dir,
+    load_result,
+    run_scenario,
+    saved_results,
+)
+from .spec import FaultModel, SchedGrid, Scenario, Topology
+
+__all__ = [
+    "CATALOG",
+    "FaultModel",
+    "SchedGrid",
+    "Scenario",
+    "ScenarioResult",
+    "Topology",
+    "default_report_dir",
+    "get_scenario",
+    "load_result",
+    "render_catalog",
+    "render_report",
+    "run_scenario",
+    "saved_results",
+]

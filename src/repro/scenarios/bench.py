@@ -1,0 +1,133 @@
+"""Scenario-catalog throughput bench (``BENCH_scenarios.json``).
+
+Times a subset of the catalog two ways — a cold run into a fresh
+cache and a warm cached replay — asserts the replay recomputes
+**zero** units and reproduces the cold payload bit-for-bit, and
+records the wall-clock trajectory through the same
+``repro.perfbench`` I/O the engine and campaign benches use.
+
+Like the campaign bench, wall-clock speedup assertions only gate when
+``REPRO_BENCH_STRICT`` is set; the zero-recompute and bit-identity
+checks always gate.
+
+Environment knobs (all optional):
+
+======================================  ==============================
+``REPRO_BENCH_SCENARIO_NAMES``          comma-separated catalog names
+``REPRO_BENCH_MIN_REPLAY_SPEEDUP``      strict-mode replay floor (3.0)
+``REPRO_BENCH_STRICT``                  enable wall-clock assertions
+======================================  ==============================
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from datetime import datetime, timezone
+from typing import Sequence
+
+from ..campaign import default_workers
+from ..campaign.bench import strict_enabled
+from .catalog import CATALOG, get_scenario
+from .runner import run_scenario
+
+#: Default benchmark trajectory file, relative to the repository root.
+BENCH_FILE = "BENCH_scenarios.json"
+
+#: Fast catalog subset covering all four scenario kinds.
+DEFAULT_SCENARIOS: tuple[str, ...] = (
+    "fig7-latency", "burst-faults", "checker-starvation",
+    "mixed-criticality",
+)
+
+_ENV_NAMES = "REPRO_BENCH_SCENARIO_NAMES"
+_ENV_MIN_REPLAY = "REPRO_BENCH_MIN_REPLAY_SPEEDUP"
+
+
+def default_scenarios() -> tuple[str, ...]:
+    raw = os.environ.get(_ENV_NAMES, "").strip()
+    if not raw:
+        return DEFAULT_SCENARIOS
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+def min_replay_speedup(default: float = 3.0) -> float:
+    return float(os.environ.get(_ENV_MIN_REPLAY, str(default)))
+
+
+def run_scenario_benchmark(*, names: Sequence[str] | None = None,
+                           workers: int | None = None,
+                           label: str = "") -> dict:
+    """Run the scenario bench; returns one trajectory record."""
+    keys = tuple(names) if names else default_scenarios()
+    n_workers = workers or default_workers()
+    cache_dir = tempfile.mkdtemp(prefix="repro-scenario-bench-")
+    rows = []
+    try:
+        for name in keys:
+            scenario = get_scenario(name)
+            start = time.perf_counter()
+            cold = run_scenario(scenario, workers=n_workers,
+                                cache=cache_dir)
+            cold_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            replay = run_scenario(scenario, workers=n_workers,
+                                  cache=cache_dir)
+            replay_seconds = time.perf_counter() - start
+            rows.append({
+                "scenario": name,
+                "kind": scenario.kind,
+                "units": scenario.unit_count(),
+                "cold_seconds": round(cold_seconds, 3),
+                "replay_seconds": round(replay_seconds, 3),
+                "replay_speedup": round(
+                    cold_seconds / replay_seconds, 2)
+                if replay_seconds else 0.0,
+                "zero_recompute": replay.stats.computed == 0,
+                "replay_identical": replay.payload == cold.payload,
+            })
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    cold_total = sum(r["cold_seconds"] for r in rows)
+    replay_total = sum(r["replay_seconds"] for r in rows)
+    return {
+        "bench": "scenarios",
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "label": label,
+        "catalog_size": len(CATALOG),
+        "scenarios": rows,
+        "workers": n_workers,
+        "cpu_count": os.cpu_count(),
+        "cold_seconds": round(cold_total, 3),
+        "replay_seconds": round(replay_total, 3),
+        "replay_speedup": round(cold_total / replay_total, 2)
+        if replay_total else 0.0,
+        "zero_recompute": all(r["zero_recompute"] for r in rows),
+        "replay_identical": all(r["replay_identical"] for r in rows),
+    }
+
+
+def format_record(record: dict) -> str:
+    """Human-readable summary of one scenario benchmark record."""
+    lines = [
+        f"Scenario catalog bench ({len(record['scenarios'])} of "
+        f"{record['catalog_size']} scenarios, "
+        f"workers={record['workers']})",
+        f"{'scenario':<20}{'units':>6}{'cold':>9}{'replay':>9}"
+        f"{'speedup':>9}  ok",
+    ]
+    for row in record["scenarios"]:
+        ok = row["zero_recompute"] and row["replay_identical"]
+        lines.append(
+            f"{row['scenario']:<20}{row['units']:>6}"
+            f"{row['cold_seconds']:>8.2f}s{row['replay_seconds']:>8.2f}s"
+            f"{row['replay_speedup']:>8.1f}x  {ok}")
+    lines.append(
+        f"{'total':<20}{'':>6}{record['cold_seconds']:>8.2f}s"
+        f"{record['replay_seconds']:>8.2f}s"
+        f"{record['replay_speedup']:>8.1f}x  "
+        f"{record['zero_recompute'] and record['replay_identical']}")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""The curated scenario catalog.
+
+The four paper figures re-expressed as scenarios, plus experiments the
+paper's fixed grid cannot express: multi-bit bursts, Poisson-style
+sparse fault arrival, starved checkers, main-side faults replicated to
+a triple-modular pair, a 32-core die of concurrent verified pairs, and
+a mixed-criticality task grid.
+
+Every entry is sized to finish in seconds through ``python -m repro
+run`` while still producing statistically meaningful tables; all of
+them scale up by overriding ``target_instructions`` / ``repeats`` /
+``sets_per_point`` (CLI flags or :meth:`Scenario.replace`).
+"""
+
+from __future__ import annotations
+
+from .spec import FaultModel, SchedGrid, Scenario, Topology
+
+#: The paper's Fig. 5(b) and Fig. 5(f)-style grids, scaled to CLI time.
+_FIG5_GRID = SchedGrid(m=8, n=160, alpha=0.125, beta=0.125,
+                       sets_per_point=40)
+_MIXED_GRID = SchedGrid(m=8, n=80, alpha=0.25, beta=0.25,
+                        sets_per_point=60)
+
+_CATALOG_ENTRIES: tuple[Scenario, ...] = (
+    # -- the four paper figures, re-expressed --------------------------
+    Scenario(
+        name="fig4-parsec", kind="slowdown",
+        description="Paper Fig. 4a: Parsec main-core slowdown under "
+                    "LockStep / FlexStep / Nzdc.",
+        workloads=("parsec",), target_instructions=25_000),
+    Scenario(
+        name="fig4-specint", kind="slowdown",
+        description="Paper Fig. 4b: SPECint main-core slowdown under "
+                    "LockStep / FlexStep / Nzdc.",
+        workloads=("specint",), target_instructions=25_000),
+    Scenario(
+        name="fig5-sched", kind="sched",
+        description="Paper Fig. 5: schedulable task-set ratio vs "
+                    "normalised utilisation (m=8, n=160, "
+                    "α=β=0.125).",
+        seed=2025, sched=_FIG5_GRID),
+    Scenario(
+        name="fig6-modes", kind="modes",
+        description="Paper Fig. 6: dual- vs triple-core verification "
+                    "mode slowdown.",
+        workloads=("blackscholes", "dedup", "fluidanimate", "x264"),
+        target_instructions=20_000),
+    Scenario(
+        name="fig7-latency", kind="latency",
+        description="Paper Fig. 7: error-detection latency under "
+                    "single-bit faults in forwarded data.",
+        workloads=("blackscholes", "dedup", "streamcluster"),
+        target_instructions=30_000, repeats=2,
+        faults=FaultModel(target="any", segment_interval=2)),
+    # -- beyond the paper's grid ---------------------------------------
+    Scenario(
+        name="burst-faults", kind="latency",
+        description="Multi-bit burst model: 4 adjacent bits flip per "
+                    "fault (MCU-style upsets) in any forwarded field.",
+        workloads=("dedup", "mcf"), target_instructions=20_000,
+        repeats=2,
+        faults=FaultModel(target="any", segment_interval=1,
+                          burst_bits=4)),
+    Scenario(
+        name="sparse-faults", kind="latency",
+        description="Poisson-style arrival: each segment is armed with "
+                    "probability 0.2 instead of a fixed interval.",
+        workloads=("swaptions", "hmmer"), target_instructions=20_000,
+        repeats=2,
+        faults=FaultModel(target="any", segment_rate=0.2)),
+    Scenario(
+        name="checker-starvation", kind="latency",
+        description="A starved checker: 120k-cycle service pause and a "
+                    "small DMA spill stretch the detection tail.",
+        workloads=("dedup", "x264"), target_instructions=20_000,
+        topology=Topology(service_pause_cycles=120_000,
+                          dma_spill_entries=512),
+        faults=FaultModel(target="any", segment_interval=1)),
+    Scenario(
+        name="main-side-faults", kind="latency",
+        description="Main-side forwarding faults replicated to both "
+                    "checkers of a triple-core group (vs the default "
+                    "checker-side single-FIFO model).",
+        workloads=("blackscholes", "gobmk"), target_instructions=20_000,
+        topology=Topology(checkers=2),
+        faults=FaultModel(target="ecp", segment_interval=2,
+                          side="main")),
+    Scenario(
+        name="32core-scaling", kind="latency",
+        description="16 concurrent dual-core verified pairs on one "
+                    "32-core die: detection latency under full-die "
+                    "co-simulation with shared-memory contention.",
+        workloads=("dedup", "mcf"), target_instructions=6_000,
+        topology=Topology(pairs=16, checkers=1),
+        faults=FaultModel(target="any", segment_interval=1)),
+    Scenario(
+        name="mixed-criticality", kind="sched",
+        description="Mixed-criticality grid: half the tasks verified "
+                    "(α=β=0.25) on a smaller task count "
+                    "(m=8, n=80).",
+        seed=2025, sched=_MIXED_GRID),
+)
+
+#: Name -> scenario, in curated display order.
+CATALOG: dict[str, Scenario] = {s.name: s for s in _CATALOG_ENTRIES}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a catalog scenario by name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {sorted(CATALOG)}"
+        ) from None

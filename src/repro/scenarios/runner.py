@@ -1,0 +1,209 @@
+"""Compile a scenario into campaign work units and run it.
+
+Each scenario kind maps onto the figure machinery's module-level unit
+functions (`repro.analysis.slowdown`, `repro.analysis.latency`,
+`repro.sched.experiments`), so a scenario run *is* a campaign run: the
+grid fans out across ``REPRO_WORKERS`` processes, every unit's RNG
+stream derives from SHA-256 spawn keys, and completed units persist in
+the content-addressed cache — bit-identical results for any worker
+count, zero-recompute replay for a warm cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from ..analysis.latency import (
+    FIG7_DEFAULTS,
+    _fig7_specs,
+    _fig7_unit,
+    merge_latency_units,
+)
+from ..analysis.slowdown import _fig4_unit, _fig6_unit, _suite_specs
+from ..campaign import CampaignStats, run_campaign, run_grouped_campaign
+from ..config import SoCConfig
+from ..flexstep.faults import FaultTarget
+from ..sched.experiments import (
+    _aggregate_points,
+    _fig5_specs,
+    _fig5_unit,
+)
+from .spec import Scenario
+
+_ENV_REPORT_DIR = "REPRO_REPORT_DIR"
+
+
+def default_report_dir() -> Path:
+    """Report root: ``REPRO_REPORT_DIR`` env, else ``<repo>/.repro_reports``."""
+    raw = os.environ.get(_ENV_REPORT_DIR, "").strip()
+    if raw:
+        return Path(raw)
+    # three levels above this file: src/repro/scenarios -> repo root
+    return Path(__file__).resolve().parents[3] / ".repro_reports"
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's outcome: JSON-able payload + campaign stats."""
+
+    scenario: Scenario
+    seed: int
+    payload: dict
+    stats: CampaignStats
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "seed": self.seed,
+            "payload": self.payload,
+            "stats": dataclasses.asdict(self.stats),
+        }
+
+    def render(self) -> str:
+        from .report import render_report
+        return render_report(self.to_dict())
+
+    def save(self, directory: "Path | str | None" = None) -> Path:
+        """Write the result under ``<dir>/<scenario name>.json``."""
+        root = Path(directory) if directory else default_report_dir()
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / f"{self.scenario.name}.json"
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+
+def load_result(name: str,
+                directory: "Path | str | None" = None) -> dict:
+    """Read one saved scenario result document."""
+    root = Path(directory) if directory else default_report_dir()
+    with open(root / f"{name}.json") as fh:
+        return json.load(fh)
+
+
+def saved_results(directory: "Path | str | None" = None) -> list[str]:
+    """Scenario names with a saved report, sorted."""
+    root = Path(directory) if directory else default_report_dir()
+    if not root.is_dir():
+        return []
+    return sorted(p.stem for p in root.glob("*.json"))
+
+
+# ---------------------------------------------------------------------------
+# kind-specific compilation
+# ---------------------------------------------------------------------------
+
+
+def _latency_options(scenario: Scenario, seed: int) -> dict:
+    topo, faults = scenario.topology, scenario.faults
+    return {
+        **FIG7_DEFAULTS,
+        "target_instructions": scenario.target_instructions,
+        "target": FaultTarget(faults.target),
+        "segment_interval": faults.segment_interval,
+        "segment_rate": faults.segment_rate,
+        "burst_bits": faults.burst_bits,
+        "side": faults.side,
+        "pairs": topo.pairs,
+        "checkers": topo.checkers,
+        "fifo_entries": topo.fifo_entries,
+        "service_pause_cycles": topo.service_pause_cycles,
+        "dma_spill_entries": topo.dma_spill_entries,
+        "seed": seed,
+        "repeats": scenario.repeats,
+    }
+
+
+def _run_latency(scenario: Scenario, seed: int, workers, cache,
+                 ) -> tuple[dict, CampaignStats]:
+    profiles = scenario.profiles()
+    options = _latency_options(scenario, seed)
+    groups = {p.name: _fig7_specs(p, **options) for p in profiles}
+    sliced, stats = run_grouped_campaign(
+        _fig7_unit, groups, seed=seed, workers=workers, cache=cache)
+    workloads = []
+    for profile in profiles:
+        merged = merge_latency_units(profile.name, sliced[profile.name])
+        workloads.append({
+            "workload": merged.workload,
+            "latencies_us": merged.latencies_us,
+            "detected": merged.detected,
+            "injected": merged.injected,
+            "armed_unfired": merged.armed_unfired,
+            "misattributed": merged.misattributed,
+            "records": [r.to_dict() for r in merged.records],
+        })
+    return {"kind": "latency", "workloads": workloads}, stats
+
+
+def _run_slowdown(scenario: Scenario, seed: int, workers, cache,
+                  ) -> tuple[dict, CampaignStats]:
+    config = (SoCConfig(num_cores=scenario.cores)
+              if scenario.cores is not None else None)
+    specs = _suite_specs(scenario.profiles(),
+                         scenario.target_instructions, config)
+    run = run_campaign(_fig4_unit, specs, seed=seed, workers=workers,
+                       cache=cache)
+    return {"kind": "slowdown", "rows": run.results}, run.stats
+
+
+def _run_modes(scenario: Scenario, seed: int, workers, cache,
+               ) -> tuple[dict, CampaignStats]:
+    specs = _suite_specs(scenario.profiles(),
+                         scenario.target_instructions, None)
+    run = run_campaign(_fig6_unit, specs, seed=seed, workers=workers,
+                       cache=cache)
+    return {"kind": "modes", "rows": run.results}, run.stats
+
+
+def _run_sched(scenario: Scenario, seed: int, workers, cache,
+               ) -> tuple[dict, CampaignStats]:
+    grid = scenario.sched
+    specs = _fig5_specs(m=grid.m, n=grid.n, alpha=grid.alpha,
+                        beta=grid.beta, utilizations=grid.utilizations,
+                        sets_per_point=grid.sets_per_point, seed=seed,
+                        schemes=grid.schemes)
+    run = run_campaign(_fig5_unit, specs, seed=seed, workers=workers,
+                       cache=cache)
+    points = _aggregate_points(specs, run.results, grid.utilizations,
+                               grid.sets_per_point, grid.schemes)
+    return {
+        "kind": "sched",
+        "schemes": list(grid.schemes),
+        "points": [{"utilization": p.utilization, "ratios": p.ratios}
+                   for p in points],
+    }, run.stats
+
+
+_RUNNERS = {
+    "latency": _run_latency,
+    "slowdown": _run_slowdown,
+    "modes": _run_modes,
+    "sched": _run_sched,
+}
+
+
+def run_scenario(scenario: Scenario, *,
+                 workers: Optional[int] = None,
+                 cache: object = "auto",
+                 seed: Optional[int] = None) -> ScenarioResult:
+    """Run one scenario end-to-end through the campaign engine.
+
+    ``seed`` overrides the scenario's built-in seed (the catalog tables
+    are all produced with the built-in one).  ``workers``/``cache``
+    follow the campaign defaults (``REPRO_WORKERS``,
+    ``REPRO_CACHE_DIR``); results are independent of both.
+    """
+    run_seed = scenario.seed if seed is None else seed
+    payload, stats = _RUNNERS[scenario.kind](
+        scenario, run_seed, workers, cache)
+    return ScenarioResult(scenario=scenario, seed=run_seed,
+                          payload=payload, stats=stats)

@@ -11,28 +11,82 @@ from __future__ import annotations
 
 import math
 import random
+import threading
 from typing import Optional
 
 from ..errors import TaskModelError
 from .model import RTTask, TaskClass, TaskSet
 
 
-#: One generator per process, reseeded per work unit: campaign sweeps
+class GuardedRandom(random.Random):
+    """A ``random.Random`` that refuses to produce variates until it
+    has been explicitly seeded.
+
+    The worker generator used to be a bare module-global
+    ``random.Random()``: any call path that reached it before
+    :func:`seeded_rng` reseeded it drew from OS-entropy state —
+    silently nondeterministic.  Unseeded access is now an explicit
+    error.  (``random()`` and ``getrandbits`` are the two primitives
+    every derived method funnels through.)
+
+    The guard costs nothing once seeded: ``seed()`` shadows the two
+    guard wrappers with the parent's bound C implementations, so a
+    campaign sweep's millions of variates never pay a Python-level
+    check — only a generator that was never seeded still carries the
+    raising wrappers.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()          # calls self.seed(None) — allowed
+        self._seeded = False        # ...but constructed != seeded
+        # Re-arm the guard: construction-time seeding installed the
+        # fast-path shadows; drop them until an explicit seed().
+        self.__dict__.pop("random", None)
+        self.__dict__.pop("getrandbits", None)
+
+    def seed(self, *args, **kwargs) -> None:
+        super().seed(*args, **kwargs)
+        self._seeded = True
+        self.random = super().random            # type: ignore[method-assign]
+        self.getrandbits = super().getrandbits  # type: ignore[method-assign]
+
+    def _require_seeded(self) -> None:
+        if not self._seeded:
+            raise TaskModelError(
+                "worker RNG used before seeded_rng() seeded it — "
+                "task-set generation would be nondeterministic")
+
+    def random(self) -> float:
+        self._require_seeded()
+        return super().random()
+
+    def getrandbits(self, k: int) -> int:
+        self._require_seeded()
+        return super().getrandbits(k)
+
+
+#: One generator per thread, reseeded per work unit: campaign sweeps
 #: draw millions of variates, and reusing the Mersenne state avoids
 #: re-allocating a ``random.Random`` (2.5 KiB of state) per task set.
-_WORKER_RNG = random.Random()
+#: Thread-local storage keeps the scheme safe if units ever run on a
+#: thread pool instead of processes.
+_WORKER_RNGS = threading.local()
 
 
 def seeded_rng(seed: int) -> random.Random:
-    """The process-local generator, deterministically reseeded.
+    """The thread-local generator, deterministically reseeded.
 
     ``seeded_rng(s)`` produces the same stream as ``random.Random(s)``;
     callers must treat the returned generator as owned until their next
-    ``seeded_rng`` call (campaign units are sequential per worker, so
-    this holds by construction).
+    ``seeded_rng`` call on the same thread (campaign units are
+    sequential per worker, so this holds by construction).
     """
-    _WORKER_RNG.seed(seed)
-    return _WORKER_RNG
+    rng = getattr(_WORKER_RNGS, "rng", None)
+    if rng is None:
+        rng = GuardedRandom()
+        _WORKER_RNGS.rng = rng
+    rng.seed(seed)
+    return rng
 
 
 def uunifast(n: int, total_utilization: float,

@@ -15,6 +15,7 @@ from .profiles import (
     WorkloadProfile,
     get_profile,
     parsec_profiles,
+    resolve_profiles,
     specint_profiles,
 )
 from .generator import build_program, GeneratorOptions
@@ -25,6 +26,7 @@ __all__ = [
     "WorkloadProfile",
     "get_profile",
     "parsec_profiles",
+    "resolve_profiles",
     "specint_profiles",
     "build_program",
     "GeneratorOptions",

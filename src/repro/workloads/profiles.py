@@ -147,3 +147,33 @@ def parsec_profiles() -> tuple[WorkloadProfile, ...]:
 
 def specint_profiles() -> tuple[WorkloadProfile, ...]:
     return SPECINT
+
+
+_SUITES = {
+    "parsec": PARSEC,
+    "specint": SPECINT,
+    "all": (*PARSEC, *SPECINT),
+}
+
+
+def resolve_profiles(names: "str | tuple | list",
+                     ) -> tuple[WorkloadProfile, ...]:
+    """Resolve a workload mix to profiles.
+
+    ``names`` is a suite name (``"parsec"``, ``"specint"``, ``"all"``),
+    a benchmark name, or a sequence mixing both.  Duplicates collapse
+    to the first occurrence, order preserved — the scenario catalog's
+    one lookup path for "which workloads does this run".
+    """
+    if isinstance(names, str):
+        names = (names,)
+    out: list[WorkloadProfile] = []
+    seen: set[str] = set()
+    for name in names:
+        group = _SUITES.get(name)
+        profiles = group if group is not None else (get_profile(name),)
+        for profile in profiles:
+            if profile.name not in seen:
+                seen.add(profile.name)
+                out.append(profile)
+    return tuple(out)

@@ -1,0 +1,111 @@
+"""Scenario schema and catalog invariants."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    CATALOG,
+    FaultModel,
+    SchedGrid,
+    Scenario,
+    Topology,
+    get_scenario,
+)
+
+
+class TestCatalog:
+    def test_at_least_eight_scenarios(self):
+        assert len(CATALOG) >= 8
+
+    def test_names_match_keys(self):
+        for name, scenario in CATALOG.items():
+            assert scenario.name == name
+
+    def test_all_kinds_represented(self):
+        kinds = {s.kind for s in CATALOG.values()}
+        assert kinds == {"latency", "slowdown", "modes", "sched"}
+
+    def test_paper_figures_present(self):
+        for name in ("fig4-parsec", "fig4-specint", "fig5-sched",
+                     "fig6-modes", "fig7-latency"):
+            assert name in CATALOG
+
+    def test_novel_scenarios_present(self):
+        for name in ("burst-faults", "checker-starvation",
+                     "32core-scaling", "mixed-criticality"):
+            assert name in CATALOG
+
+    def test_unit_counts_positive(self):
+        for scenario in CATALOG.values():
+            assert scenario.unit_count() >= 1
+
+    def test_topology_span(self):
+        """The catalog exercises the 2-32 core envelope."""
+        cores = {s.topology.num_cores for s in CATALOG.values()
+                 if s.kind == "latency"}
+        assert min(cores) == 2
+        assert max(cores) == 32
+
+    def test_get_scenario_unknown(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("not-a-scenario")
+
+
+class TestSchemaRoundTrip:
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_dict_round_trip(self, name):
+        scenario = CATALOG[name]
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_json_round_trip(self, name):
+        scenario = CATALOG[name]
+        doc = json.loads(json.dumps(scenario.to_dict()))
+        assert Scenario.from_dict(doc) == scenario
+
+    def test_replace_scales(self):
+        scenario = CATALOG["fig7-latency"].replace(
+            target_instructions=5_000, repeats=1)
+        assert scenario.target_instructions == 5_000
+        assert scenario.name == "fig7-latency"
+
+
+class TestValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="x", kind="nope")
+
+    def test_bad_workload_name(self):
+        with pytest.raises(KeyError):
+            Scenario(name="x", kind="latency",
+                     workloads=("not-a-benchmark",))
+
+    def test_bad_fault_side(self):
+        with pytest.raises(ConfigurationError):
+            FaultModel(side="sideways")
+
+    def test_bad_fault_target(self):
+        with pytest.raises(ValueError):
+            FaultModel(target="nonsense")
+
+    def test_bad_segment_rate(self):
+        with pytest.raises(ConfigurationError):
+            FaultModel(segment_rate=2.0)
+
+    def test_too_many_checkers(self):
+        with pytest.raises(ConfigurationError):
+            Topology(checkers=3)
+
+    def test_too_many_cores(self):
+        with pytest.raises(ConfigurationError):
+            Topology(pairs=17, checkers=1)   # 34 cores
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            SchedGrid(schemes=("edf-magic",))
+
+    def test_tiny_target_instructions(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="x", kind="latency", target_instructions=10)

@@ -1,0 +1,78 @@
+"""``python -m repro`` CLI behaviour + golden report tables.
+
+The golden files under ``golden/`` pin the exact ``report`` output of
+two catalog scenarios (one co-simulated fault-injection table, one
+schedulability grid): any change to the simulators, the fault
+accounting, the spawn-seeding or the renderers that shifts a single
+character shows up as a diff here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.scenarios import CATALOG
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _golden(name: str) -> str:
+    return (GOLDEN_DIR / name).read_text()
+
+
+class TestList:
+    def test_lists_whole_catalog(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines()[1:] if line.strip()]
+        assert len(lines) >= 8
+        for name in CATALOG:
+            assert name in out
+
+
+class TestRun:
+    def test_requires_scenario_or_all(self, capsys):
+        assert main(["run"]) == 2
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            main(["run", "--scenario", "nope", "--no-cache"])
+
+    def test_dry_run_writes_nothing(self, tmp_path, capsys):
+        rc = main(["run", "--scenario", "checker-starvation",
+                   "--no-cache", "--dry-run",
+                   "--report-dir", str(tmp_path)])
+        assert rc == 0
+        assert list(tmp_path.glob("*.json")) == []
+        out = capsys.readouterr().out
+        assert "checker-starvation" in out
+        assert "Error-detection latency" in out
+
+    def test_run_saves_report(self, tmp_path, capsys):
+        rc = main(["run", "--scenario", "mixed-criticality", "--sets",
+                   "8", "--no-cache", "--report-dir", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "mixed-criticality.json").exists()
+
+
+class TestReportGolden:
+    def test_no_saved_reports(self, tmp_path, capsys):
+        assert main(["report", "--report-dir", str(tmp_path)]) == 1
+
+    def test_missing_name(self, tmp_path, capsys):
+        assert main(["report", "nope",
+                     "--report-dir", str(tmp_path)]) == 1
+
+    @pytest.mark.parametrize("name,args", [
+        ("checker-starvation", []),
+        ("mixed-criticality", ["--sets", "8"]),
+    ])
+    def test_report_matches_golden(self, name, args, tmp_path, capsys):
+        assert main(["run", "--scenario", name, *args, "--no-cache",
+                     "--report-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["report", name,
+                     "--report-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out == _golden(f"report_{name}.txt")

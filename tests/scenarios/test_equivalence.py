@@ -1,0 +1,63 @@
+"""Worker-count invariance and cached replay for catalog scenarios.
+
+The acceptance bar of the scenario framework: running any catalog
+entry with ``workers=1`` and ``workers=4`` yields bit-identical
+payloads, and a second run against a warm cache recomputes nothing.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.scenarios import CATALOG, run_scenario
+
+#: Two cheap catalog entries, run exactly as shipped.
+FAST_SCENARIOS = ("checker-starvation", "burst-faults")
+
+
+def _scaled_sched():
+    scenario = CATALOG["mixed-criticality"]
+    return scenario.replace(sched=dataclasses.replace(
+        scenario.sched, utilizations=(0.45, 0.65), sets_per_point=8))
+
+
+class TestWorkerEquivalence:
+    @pytest.mark.parametrize("name", FAST_SCENARIOS)
+    def test_catalog_scenario_bit_identical(self, name):
+        scenario = CATALOG[name]
+        serial = run_scenario(scenario, workers=1, cache=None)
+        parallel = run_scenario(scenario, workers=4, cache=None)
+        assert serial.payload == parallel.payload
+        assert serial.seed == parallel.seed
+
+    def test_sched_scenario_bit_identical(self):
+        scenario = _scaled_sched()
+        serial = run_scenario(scenario, workers=1, cache=None)
+        parallel = run_scenario(scenario, workers=4, cache=None)
+        assert serial.payload == parallel.payload
+
+
+class TestCachedReplay:
+    def test_zero_recompute_replay(self, tmp_path):
+        scenario = CATALOG["checker-starvation"]
+        fresh = run_scenario(scenario, workers=1, cache=tmp_path)
+        assert fresh.stats.computed == scenario.unit_count()
+        replay = run_scenario(scenario, workers=1, cache=tmp_path)
+        assert replay.stats.computed == 0
+        assert replay.stats.cached == scenario.unit_count()
+        assert replay.payload == fresh.payload
+
+    def test_replay_across_worker_counts(self, tmp_path):
+        scenario = _scaled_sched()
+        fresh = run_scenario(scenario, workers=2, cache=tmp_path)
+        replay = run_scenario(scenario, workers=4, cache=tmp_path)
+        assert replay.stats.computed == 0
+        assert replay.payload == fresh.payload
+
+    def test_seed_override_changes_digest(self, tmp_path):
+        scenario = CATALOG["checker-starvation"]
+        first = run_scenario(scenario, workers=1, cache=tmp_path)
+        other = run_scenario(scenario, workers=1, cache=tmp_path,
+                             seed=scenario.seed + 1)
+        assert other.stats.computed == scenario.unit_count()
+        assert other.payload != first.payload

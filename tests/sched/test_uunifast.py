@@ -83,3 +83,54 @@ class TestGenerateTaskSet:
                                rng=random.Random(seed))
         assert len(ts.by_class(TaskClass.TV2)) == 10
         assert len(ts.by_class(TaskClass.TV3)) == 10
+
+
+class TestGuardedWorkerRng:
+    """Regression: the worker generator used to be a bare module-global
+    ``random.Random()`` — nondeterministic if reached before
+    ``seeded_rng`` reseeded it, and shared across threads."""
+
+    def test_unseeded_access_is_an_error(self):
+        from repro.sched.uunifast import GuardedRandom
+        rng = GuardedRandom()
+        with pytest.raises(TaskModelError):
+            rng.random()
+        with pytest.raises(TaskModelError):
+            rng.getrandbits(8)
+        with pytest.raises(TaskModelError):
+            uunifast(5, 1.0, rng)
+
+    def test_seeded_rng_matches_reference_stream(self):
+        from repro.sched.uunifast import seeded_rng
+        rng = seeded_rng(12345)
+        ref = random.Random(12345)
+        assert [rng.random() for _ in range(10)] \
+            == [ref.random() for _ in range(10)]
+
+    def test_seeded_rng_reuses_one_generator_per_thread(self):
+        from repro.sched.uunifast import seeded_rng
+        assert seeded_rng(1) is seeded_rng(2)
+
+    def test_threads_get_independent_generators(self):
+        import threading
+
+        from repro.sched.uunifast import seeded_rng
+
+        rngs = {}
+
+        def grab(key):
+            rngs[key] = seeded_rng(7)
+
+        grab("main")
+        thread = threading.Thread(target=grab, args=("worker",))
+        thread.start()
+        thread.join()
+        assert rngs["main"] is not rngs["worker"]
+        # same seed -> same stream, despite distinct generators
+        assert rngs["main"].random() == rngs["worker"].random()
+
+    def test_guard_clears_after_seeding(self):
+        from repro.sched.uunifast import GuardedRandom
+        rng = GuardedRandom()
+        rng.seed(99)
+        assert rng.random() == random.Random(99).random()
