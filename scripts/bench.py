@@ -12,7 +12,9 @@ speedup with one command::
 ``BENCH_engine.json``; ``--bench campaign`` measures the Fig. 5 sweep
 under the parallel campaign engine into ``BENCH_campaign.json``;
 ``--bench scenarios`` measures scenario-catalog wall-clock and
-cached-replay speedup into ``BENCH_scenarios.json``.
+cached-replay speedup into ``BENCH_scenarios.json``; ``--bench sched``
+measures the vectorized (numpy) schedulability backend against the
+scalar oracle into ``BENCH_sched.json``.
 
 Defaults come from the ``REPRO_BENCH_*`` environment variables (see
 ``repro/perfbench.py`` and ``repro/campaign/bench.py``); flags override
@@ -35,6 +37,7 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 from repro import perfbench  # noqa: E402  (needs the sys.path insert)
 from repro.campaign import bench as campaign_bench  # noqa: E402
 from repro.scenarios import bench as scenario_bench  # noqa: E402
+from repro.sched import bench as sched_bench  # noqa: E402
 
 
 def _run_engine(args: argparse.Namespace) -> int:
@@ -125,12 +128,50 @@ def _run_scenarios(args: argparse.Namespace) -> int:
     return status
 
 
+def _run_sched(args: argparse.Namespace) -> int:
+    configs = None
+    if args.configs:
+        configs = [key.strip() for key in args.configs.split(",")
+                   if key.strip()]
+    record = sched_bench.run_sched_benchmark(
+        configs=configs, sets_per_point=args.sets, label=args.label)
+    print(sched_bench.format_record(record))
+    status = 0
+    if record["numpy_available"]:
+        if not record["verdicts_identical"]:
+            print("ERROR: numpy backend verdicts diverge from the "
+                  "scalar oracle — backend-equivalence regression",
+                  file=sys.stderr)
+            status = 1
+        threshold = sched_bench.min_sched_speedup(3.0)
+        if record["speedup"] < threshold:
+            if campaign_bench.strict_enabled():
+                print(f"ERROR: vectorization speedup "
+                      f"{record['speedup']}x below the {threshold}x "
+                      "target (REPRO_BENCH_STRICT set)",
+                      file=sys.stderr)
+                status = 1
+            else:
+                print(f"note: vectorization speedup {record['speedup']}x "
+                      f"below the {threshold}x target on this host; set "
+                      "REPRO_BENCH_STRICT=1 to make this fatal",
+                      file=sys.stderr)
+    else:
+        print("note: numpy not installed — recorded the scalar "
+              "baseline only", file=sys.stderr)
+    if args.dry_run:
+        return status
+    path = perfbench.append_record(record, args.output, bench="sched")
+    print(f"\nappended record to {path}")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run a repo benchmark and append the record to its "
                     "perf trajectory file.")
     parser.add_argument(
-        "--bench", choices=("engine", "campaign", "scenarios"),
+        "--bench", choices=("engine", "campaign", "scenarios", "sched"),
         default="engine",
         help="which benchmark to run (default: engine)")
     parser.add_argument(
@@ -154,7 +195,7 @@ def main(argv: list[str] | None = None) -> int:
     engine.add_argument(
         "--repeats", type=int, default=None,
         help=f"timing repeats (default {perfbench.default_repeats()})")
-    campaign = parser.add_argument_group("campaign bench")
+    campaign = parser.add_argument_group("campaign / sched bench")
     campaign.add_argument(
         "--configs", default=None,
         help="comma-separated Fig. 5 config keys (default: all six)")
@@ -176,6 +217,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_campaign(args)
     if args.bench == "scenarios":
         return _run_scenarios(args)
+    if args.bench == "sched":
+        return _run_sched(args)
     return _run_engine(args)
 
 

@@ -1,6 +1,8 @@
 """Setup shim: enables legacy editable installs on environments
 without the ``wheel`` package (pip falls back to ``setup.py develop``).
-Metadata lives in pyproject.toml."""
+Metadata lives in pyproject.toml — including the optional ``numpy``
+extra that enables the vectorized schedulability backend
+(``pip install repro-flexstep[numpy]``)."""
 
 from setuptools import setup
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .sched.backend import BACKEND_CHOICES
 from .scenarios import (
     CATALOG,
     default_report_dir,
@@ -64,7 +65,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for name in names:
         scenario = _scaled(get_scenario(name), args)
         result = run_scenario(scenario, workers=args.workers,
-                              cache=cache, seed=args.seed)
+                              cache=cache, seed=args.seed,
+                              backend=args.backend)
         print(result.render())
         if not args.dry_run:
             path = result.save(args.report_dir)
@@ -114,6 +116,12 @@ def main(argv: "list[str] | None" = None) -> int:
     run.add_argument("--workers", type=int, default=None,
                      help="campaign workers (default REPRO_WORKERS "
                           "or cpu_count)")
+    run.add_argument("--backend", default=None,
+                     choices=BACKEND_CHOICES,
+                     help="schedulability backend for sched scenarios "
+                          "(default REPRO_SCHED_BACKEND or auto: numpy "
+                          "when installed, else pure python; verdicts "
+                          "are backend-invariant)")
     run.add_argument("--seed", type=int, default=None,
                      help="override the scenario's built-in seed")
     run.add_argument("--no-cache", action="store_true",

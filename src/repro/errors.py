@@ -138,3 +138,8 @@ class TaskModelError(AnalysisError):
 
 class PartitioningError(AnalysisError):
     """A partitioning algorithm was mis-invoked (e.g. too few cores)."""
+
+
+class SchedBackendError(AnalysisError):
+    """A schedulability backend was requested but cannot be provided
+    (unknown name, or the ``numpy`` backend without numpy installed)."""

@@ -28,10 +28,11 @@ from ..analysis.slowdown import _fig4_unit, _fig6_unit, _suite_specs
 from ..campaign import CampaignStats, run_campaign, run_grouped_campaign
 from ..config import SoCConfig
 from ..flexstep.faults import FaultTarget
+from ..sched.backend import backend_override
 from ..sched.experiments import (
-    _aggregate_points,
-    _fig5_specs,
-    _fig5_unit,
+    _aggregate_batch_points,
+    _fig5_batch_specs,
+    _fig5_batch_unit,
 )
 from .spec import Scenario
 
@@ -167,14 +168,16 @@ def _run_modes(scenario: Scenario, seed: int, workers, cache,
 def _run_sched(scenario: Scenario, seed: int, workers, cache,
                ) -> tuple[dict, CampaignStats]:
     grid = scenario.sched
-    specs = _fig5_specs(m=grid.m, n=grid.n, alpha=grid.alpha,
-                        beta=grid.beta, utilizations=grid.utilizations,
-                        sets_per_point=grid.sets_per_point, seed=seed,
-                        schemes=grid.schemes)
-    run = run_campaign(_fig5_unit, specs, seed=seed, workers=workers,
-                       cache=cache)
-    points = _aggregate_points(specs, run.results, grid.utilizations,
-                               grid.sets_per_point, grid.schemes)
+    specs = _fig5_batch_specs(
+        m=grid.m, n=grid.n, alpha=grid.alpha, beta=grid.beta,
+        utilizations=grid.utilizations,
+        sets_per_point=grid.sets_per_point, seed=seed,
+        schemes=grid.schemes)
+    run = run_campaign(_fig5_batch_unit, specs, seed=seed,
+                       workers=workers, cache=cache)
+    points = _aggregate_batch_points(specs, run.results,
+                                     grid.utilizations,
+                                     grid.sets_per_point, grid.schemes)
     return {
         "kind": "sched",
         "schemes": list(grid.schemes),
@@ -194,16 +197,21 @@ _RUNNERS = {
 def run_scenario(scenario: Scenario, *,
                  workers: Optional[int] = None,
                  cache: object = "auto",
-                 seed: Optional[int] = None) -> ScenarioResult:
+                 seed: Optional[int] = None,
+                 backend: Optional[str] = None) -> ScenarioResult:
     """Run one scenario end-to-end through the campaign engine.
 
     ``seed`` overrides the scenario's built-in seed (the catalog tables
     are all produced with the built-in one).  ``workers``/``cache``
     follow the campaign defaults (``REPRO_WORKERS``,
-    ``REPRO_CACHE_DIR``); results are independent of both.
+    ``REPRO_CACHE_DIR``) and ``backend`` pins the schedulability
+    backend for sched scenarios (default ``REPRO_SCHED_BACKEND`` /
+    auto); results are independent of all three — backend choice is an
+    execution knob, never part of scenario identity.
     """
     run_seed = scenario.seed if seed is None else seed
-    payload, stats = _RUNNERS[scenario.kind](
-        scenario, run_seed, workers, cache)
+    with backend_override(backend):
+        payload, stats = _RUNNERS[scenario.kind](
+            scenario, run_seed, workers, cache)
     return ScenarioResult(scenario=scenario, seed=run_seed,
                           payload=payload, stats=stats)

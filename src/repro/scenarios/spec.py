@@ -167,8 +167,9 @@ class Scenario:
     def unit_count(self) -> int:
         """How many campaign work units the scenario compiles into."""
         if self.kind == "sched":
-            return (len(self.sched.utilizations)
-                    * self.sched.sets_per_point)
+            # one batched unit per utilisation point: the whole
+            # sets-per-point population is judged as one backend batch
+            return len(self.sched.utilizations)
         if self.kind == "latency":
             return len(self.profiles()) * self.repeats
         return len(self.profiles())     # slowdown / modes: one per workload

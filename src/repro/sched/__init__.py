@@ -24,14 +24,22 @@ from .model import (
 )
 from .edf import (
     DemandTask,
+    dbf_scan_schedulable,
     qpa_schedulable,
+    qpa_schedulable_batch,
     qpa_judge_partition,
     total_dbf,
 )
 from .uunifast import uunifast, generate_task_set
-from .partition import partition_flexstep
-from .lockstep import partition_lockstep
-from .hmr import partition_hmr
+from .partition import partition_flexstep, partition_flexstep_batch
+from .lockstep import partition_lockstep, partition_lockstep_batch
+from .hmr import partition_hmr, partition_hmr_batch
+from .backend import (
+    TaskSetBatch,
+    available_backends,
+    backend_override,
+    get_backend,
+)
 from .result import Assignment, PartitionResult, Role
 from .simulation import EdfSimulator, SimJob, simulate_partition
 from .experiments import (
@@ -49,14 +57,23 @@ __all__ = [
     "OPT_V2_FACTOR",
     "OPT_V3_FACTOR",
     "DemandTask",
+    "dbf_scan_schedulable",
     "qpa_schedulable",
+    "qpa_schedulable_batch",
     "qpa_judge_partition",
     "total_dbf",
     "uunifast",
     "generate_task_set",
     "partition_flexstep",
+    "partition_flexstep_batch",
     "partition_lockstep",
+    "partition_lockstep_batch",
     "partition_hmr",
+    "partition_hmr_batch",
+    "TaskSetBatch",
+    "available_backends",
+    "backend_override",
+    "get_backend",
     "Assignment",
     "PartitionResult",
     "Role",

@@ -1,0 +1,477 @@
+"""Vectorized (numpy) schedulability backend.
+
+Evaluates UUniFast generation, the three partitioners' accept/reject
+tests and the exact DBF/QPA layer over a whole batch of task sets as
+float64 arrays, producing verdicts **bit-identical** to the scalar
+oracle in :mod:`.python_backend`.
+
+Identity strategy (see the :mod:`.base` module docstring): every RNG
+variate is drawn from the same scalar ``random.Random`` stream as the
+oracle, and every transcendental (``**``, ``exp``) runs through the
+same libm call.  Vectorization is confined to operations whose IEEE-754
+results are exactly rounded and therefore bit-identical between CPython
+and numpy:
+
+* element-wise ``+ - * /``, ``maximum``, ``floor`` and comparisons,
+* ``cumprod`` / ``cumsum``, which multiply/add strictly left-to-right —
+  the same association order as the oracle's sequential loops,
+* first-occurrence ``argmin`` / ``argmax`` (the oracle's greedy
+  least-loaded scans also keep the first minimum),
+* ``kind="stable"`` ``argsort`` on negated keys, matching CPython's
+  stable descending sort.
+
+The batch dimension is the vector axis; reductions *within* one
+set/core accumulate in the oracle's order.  Partitioner kernels are
+verdict-only: they track exactly the state that decides success
+(core/group loads, failure flags, blocking terms) and never materialise
+:class:`Assignment` objects.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ...errors import PartitioningError, TaskModelError
+from ..edf import (
+    DBF_JOB_EPS,
+    QPA_DEMAND_EPS,
+    _deadlines_up_to,
+    qpa_interval_bound,
+)
+from ..model import OPT_V2_FACTOR, OPT_V3_FACTOR
+from ..uunifast import seeded_rng
+from .base import SchedBackend, TaskSetBatch
+
+_OVER = 1.0 + 1e-12   # the partitioners' load threshold, verbatim
+
+
+class _ClassView:
+    """One reliability class of a uniform sub-batch, sorted by
+    descending utilisation (stable, matching the scalar partitioners'
+    ``sorted(..., key=utilization, reverse=True)``)."""
+
+    __slots__ = ("u", "w", "t", "k")
+
+    def __init__(self, u, w, t):
+        self.u, self.w, self.t = u, w, t
+        self.k = int(u.shape[1])
+
+    def rows(self, mask) -> "_ClassView":
+        return _ClassView(self.u[mask], self.w[mask], self.t[mask])
+
+
+def _sorted_class_view(W, T, U, codes, code: int) -> _ClassView:
+    B, _ = W.shape
+    mask = codes == code
+    k = int(mask[0].sum()) if B else 0
+    if k == 0:
+        empty = np.empty((B, 0))
+        return _ClassView(empty, empty, empty)
+    r, c = np.nonzero(mask)
+    u = U[r, c].reshape(B, k)
+    w = W[r, c].reshape(B, k)
+    t = T[r, c].reshape(B, k)
+    order = np.argsort(-u, axis=1, kind="stable")
+    return _ClassView(np.take_along_axis(u, order, 1),
+                      np.take_along_axis(w, order, 1),
+                      np.take_along_axis(t, order, 1))
+
+
+# ---------------------------------------------------------------------------
+# partitioner kernels (verdict-only, batch-vectorized)
+# ---------------------------------------------------------------------------
+
+
+def _needed_cores(v3: _ClassView, v2: _ClassView) -> int:
+    return 1 + (2 if v3.k else (1 if v2.k else 0))
+
+
+def _flexstep_pass(v3: _ClassView, v2: _ClassView, tn: _ClassView,
+                   m: int, virtual: bool):
+    """One Algorithm 3 run (strict or relaxed) over the sub-batch."""
+    B = v3.u.shape[0]
+    rows = np.arange(B)
+    loads = np.zeros((B, m))
+
+    def place(delta, exclude):
+        if exclude:
+            masked = loads.copy()
+            for k in exclude:
+                masked[rows, k] = np.inf
+        else:
+            masked = loads
+        k = masked.argmin(axis=1)
+        loads[rows, k] += delta
+        return k
+
+    for view, copies, factor in ((v3, 2, OPT_V3_FACTOR),
+                                 (v2, 1, OPT_V2_FACTOR)):
+        if not view.k:
+            continue
+        if virtual:
+            vd = factor * view.t          # D' = factor * D
+            d_o = view.w / vd             # δo = C / D'
+            d_v = view.w / (view.t - vd)  # δv = C / (D − D')
+        else:
+            d_o = d_v = view.u
+        for j in range(view.k):
+            k1 = place(d_o[:, j], ())
+            k2 = place(d_v[:, j], (k1,))
+            if copies == 2:
+                place(d_v[:, j], (k1, k2))
+    for j in range(tn.k):
+        place(tn.u[:, j], ())
+    return ~(loads > _OVER).any(axis=1)
+
+
+def _flexstep(v3: _ClassView, v2: _ClassView, tn: _ClassView, m: int,
+              mode: str = "auto"):
+    if mode not in ("auto", "strict", "relaxed"):
+        raise PartitioningError(
+            "mode must be one of ('auto', 'strict', 'relaxed')")
+    B = v3.u.shape[0]
+    if m < _needed_cores(v3, v2):
+        return np.zeros(B, bool)
+    if mode == "strict":
+        return _flexstep_pass(v3, v2, tn, m, virtual=True)
+    if mode == "relaxed":
+        return _flexstep_pass(v3, v2, tn, m, virtual=False)
+    ok = _flexstep_pass(v3, v2, tn, m, virtual=True)
+    retry = ~ok
+    if retry.any():
+        ok[retry] = _flexstep_pass(v3.rows(retry), v2.rows(retry),
+                                   tn.rows(retry), m, virtual=False)
+    return ok
+
+
+def _lockstep(v3: _ClassView, v2: _ClassView, tn: _ClassView, m: int):
+    B = v3.u.shape[0]
+    rows = np.arange(B)
+    # every group consumes >= 2 cores except one possible spare single
+    G = m // 2 + 1
+    group_loads = np.full((B, G), np.inf)
+    gcount = np.zeros(B, np.int64)
+    cores_left = np.full(B, m, np.int64)
+    failed = np.zeros(B, bool)
+    for view, checkers in ((v3, 2), (v2, 1)):
+        width = checkers + 1
+        cur = np.full(B, -1, np.int64)     # phase-current group slot
+        for j in range(view.k):
+            u = view.u[:, j]
+            act = ~failed
+            has_cur = cur >= 0
+            cur_load = np.where(
+                has_cur, group_loads[rows, np.where(has_cur, cur, 0)],
+                np.inf)
+            need_new = ~has_cur | (cur_load + u > 1.0)
+            can_open = cores_left >= width
+            failed |= act & need_new & ~can_open
+            opening = act & need_new & can_open
+            ro = np.nonzero(opening)[0]
+            if ro.size:
+                slots = gcount[ro]
+                group_loads[ro, slots] = 0.0
+                cur[ro] = slots
+                gcount[ro] += 1
+                cores_left[ro] -= width
+            ra = np.nonzero((act & ~need_new) | opening)[0]
+            if ra.size:
+                group_loads[ra, cur[ra]] += u[ra]
+    # pair the remaining fabric into DCLS groups + one T_N-only spare
+    pairs = cores_left // 2
+    extra = pairs + (cores_left - 2 * pairs)
+    slots2d = np.arange(G)[None, :]
+    fresh = (slots2d >= gcount[:, None]) \
+        & (slots2d < (gcount + extra)[:, None])
+    group_loads[fresh] = 0.0
+    gcount = gcount + extra
+    failed |= (gcount == 0) & ((v3.k + v2.k + tn.k) > 0)
+    for j in range(tn.k):
+        sel = group_loads.argmin(axis=1)
+        group_loads[rows, sel] += tn.u[:, j]
+    over = ((group_loads > _OVER)
+            & np.isfinite(group_loads)).any(axis=1)
+    return ~failed & ~over
+
+
+def _hmr(v3: _ClassView, v2: _ClassView, tn: _ClassView, m: int):
+    B = v3.u.shape[0]
+    rows = np.arange(B)
+    if m < _needed_cores(v3, v2):
+        return np.zeros(B, bool)
+    G = max(v3.k + v2.k, 1)            # at most one group per verif task
+    group_loads = np.full((B, G), np.inf)
+    group_width = np.zeros((B, G), np.int64)
+    group_start = np.zeros((B, G), np.int64)
+    gcount = np.zeros(B, np.int64)
+    free_start = np.zeros(B, np.int64)   # cores are taken from the front
+    failed = np.zeros(B, bool)
+    loads = np.zeros((B, m))
+    verif_on = np.zeros((B, m), bool)
+    # per-core verification placements, for the blocking check
+    P = 3 * v3.k + 2 * v2.k
+    vp_core = np.zeros((B, max(P, 1)), np.int64)
+    vp_w = np.zeros((B, max(P, 1)))
+    vp_d = np.zeros((B, max(P, 1)))
+    vp_valid = np.zeros((B, max(P, 1)), bool)
+    p_idx = 0
+    for view, width in ((v3, 3), (v2, 2)):
+        for j in range(view.k):
+            u = view.u[:, j]
+            act = ~failed
+            # first-fit-decreasing: earliest group (creation order) that
+            # is wide enough and still fits the utilisation
+            fits = (group_width >= width) \
+                & (group_loads + u[:, None] <= 1.0)
+            has_fit = fits.any(axis=1)
+            sel = fits.argmax(axis=1)
+            can_open = (m - free_start) >= width
+            failed |= act & ~has_fit & ~can_open
+            opening = act & ~has_fit & can_open
+            ro = np.nonzero(opening)[0]
+            if ro.size:
+                slots = gcount[ro]
+                group_width[ro, slots] = width
+                group_start[ro, slots] = free_start[ro]
+                group_loads[ro, slots] = 0.0
+                sel[ro] = slots
+                free_start[ro] += width
+                gcount[ro] += 1
+            ra = np.nonzero((act & has_fit) | opening)[0]
+            if ra.size:
+                gsel = sel[ra]
+                group_loads[ra, gsel] += u[ra]
+                starts = group_start[ra, gsel]
+                for o in range(width):
+                    cols = starts + o
+                    loads[ra, cols] += u[ra]
+                    verif_on[ra, cols] = True
+                    vp_core[ra, p_idx + o] = cols
+                    vp_w[ra, p_idx + o] = view.w[ra, j]
+                    vp_d[ra, p_idx + o] = view.t[ra, j]
+                    vp_valid[ra, p_idx + o] = True
+            p_idx += width
+    # non-verification tasks: clean cores first, least-loaded fallback
+    tn_core = np.zeros((B, max(tn.k, 1)), np.int64)
+    for j in range(tn.k):
+        u = tn.u[:, j]
+        loads_clean = np.where(verif_on, np.inf, loads)
+        has_clean = (~verif_on).any(axis=1)
+        use_clean = has_clean & (loads_clean.min(axis=1) + u <= 1.0)
+        core = np.where(use_clean, loads_clean.argmin(axis=1),
+                        loads.argmin(axis=1))
+        loads[rows, core] += u
+        tn_core[:, j] = core
+    over = (loads > _OVER).any(axis=1)
+    blocked = np.zeros(B, bool)
+    if tn.k and P:
+        # B_j: largest verification WCET sharing τj's core with a longer
+        # deadline; fail when U_core + B_j / D_j exceeds 1
+        match = ((vp_core[:, :, None] == tn_core[:, None, :tn.k])
+                 & vp_valid[:, :, None]
+                 & (vp_d[:, :, None] > tn.t[:, None, :]))
+        blocking = np.where(match, vp_w[:, :, None], 0.0).max(axis=1)
+        core_load = np.take_along_axis(loads, tn_core[:, :tn.k], axis=1)
+        blocked = ((blocking > 0.0)
+                   & (core_load + blocking / tn.t > _OVER)).any(axis=1)
+    return ~failed & ~over & ~blocked
+
+
+_KERNELS = {
+    "lockstep": _lockstep,
+    "hmr": _hmr,
+    "flexstep": _flexstep,
+}
+
+
+# ---------------------------------------------------------------------------
+# the backend
+# ---------------------------------------------------------------------------
+
+
+class NumpyBackend(SchedBackend):
+    """Batch-vectorized evaluation with oracle-identical verdicts."""
+
+    name = "numpy"
+
+    # -- generation -----------------------------------------------------
+
+    @staticmethod
+    def _uunifast_values(n, total_utilization, rng, max_task_utilization):
+        """UUniFast + the oracle's rejection loop, with the sequential
+        ``remaining``-recurrence folded into one ``cumprod``."""
+        if n <= 0:
+            raise TaskModelError("n must be positive")
+        if total_utilization <= 0:
+            raise TaskModelError("total utilisation must be positive")
+        for _ in range(1000):
+            # draws and powers stay scalar: stream + libm identity
+            powers = [rng.random() ** (1.0 / (n - i))
+                      for i in range(1, n)]
+            remaining = np.cumprod(np.array([total_utilization] + powers))
+            utils = np.empty(n)
+            utils[:n - 1] = remaining[:n - 1] - remaining[1:]
+            utils[n - 1] = remaining[n - 1]
+            if utils.max() <= max_task_utilization:
+                return utils
+        raise TaskModelError(
+            f"could not draw {n} utilisations summing to "
+            f"{total_utilization} with max {max_task_utilization}")
+
+    def generate_batch(self, *, n, total_utilization, alpha, beta, seeds,
+                       period_range=(10.0, 1000.0),
+                       max_task_utilization=1.0) -> TaskSetBatch:
+        if alpha < 0 or beta < 0 or alpha + beta > 1:
+            raise TaskModelError(f"bad class fractions α={alpha}, β={beta}")
+        lo, hi = period_range
+        if lo <= 0 or hi <= lo:
+            raise TaskModelError(f"bad period range {period_range}")
+        log_lo, log_hi = math.log(lo), math.log(hi)
+        B = len(seeds)
+        wcet = np.empty((B, n))
+        period = np.empty((B, n))
+        codes = np.empty((B, n), np.int8)
+        n_v2 = round(alpha * n)
+        n_v3 = round(beta * n)
+        for b, seed in enumerate(seeds):
+            rng = seeded_rng(seed)
+            utils = self._uunifast_values(n, total_utilization, rng,
+                                          max_task_utilization)
+            p = np.array([math.exp(rng.uniform(log_lo, log_hi))
+                          for _ in range(n)])
+            w = np.maximum(utils * p, 1e-9)
+            if (w > p).any():
+                raise TaskModelError("task WCET exceeds implicit deadline")
+            chosen = rng.sample(range(n), n_v2 + n_v3)
+            row_codes = np.zeros(n, np.int8)
+            row_codes[chosen[:n_v2]] = 1
+            row_codes[chosen[n_v2:]] = 2
+            wcet[b] = w
+            period[b] = p
+            codes[b] = row_codes
+        return TaskSetBatch.from_arrays(wcet, period, codes)
+
+    # -- judging --------------------------------------------------------
+
+    @staticmethod
+    def _grouped(batch, num_cores, kernels: dict):
+        """Run verdict kernels over the batch, per class-count group.
+
+        The kernels assume uniform class counts across their rows; rows
+        are grouped by the ``(n_v3, n_v2)`` signature (a single group
+        for a Fig. 5 batch, where α/β fix the counts).  Returns one
+        ``{name: bool}`` dict per set, in batch order.
+        """
+        if num_cores < 1:
+            raise PartitioningError("need at least one core")
+        W, T, codes = batch.as_arrays()
+        if W.shape[0] == 0:
+            return []
+        U = W / T
+        n = W.shape[1]
+        sig = (codes == 2).sum(axis=1) * (n + 1) + (codes == 1).sum(axis=1)
+        out: list = [None] * W.shape[0]
+        for sig_val in np.unique(sig):
+            idx = np.nonzero(sig == sig_val)[0]
+            sub = (W[idx], T[idx], U[idx], codes[idx])
+            v3 = _sorted_class_view(*sub, code=2)
+            v2 = _sorted_class_view(*sub, code=1)
+            tn = _sorted_class_view(*sub, code=0)
+            verdicts = {name: kernel(v3, v2, tn, num_cores)
+                        for name, kernel in kernels.items()}
+            for pos, b in enumerate(idx):
+                out[int(b)] = {name: bool(verdicts[name][pos])
+                               for name in kernels}
+        return out
+
+    def judge_batch(self, batch, num_cores, schemes):
+        kernels = {s: _KERNELS[s] for s in schemes}
+        return self._grouped(batch, num_cores, kernels)
+
+    def partition_verdicts(self, batch, num_cores, scheme, *,
+                           mode="auto"):
+        if scheme == "flexstep":
+            def kernel(v3, v2, tn, m):
+                return _flexstep(v3, v2, tn, m, mode=mode)
+        else:
+            if mode != "auto":
+                raise PartitioningError(
+                    f"scheme {scheme!r} has no mode variants")
+            kernel = _KERNELS[scheme]
+        rows = self._grouped(batch, num_cores, {scheme: kernel})
+        return [row[scheme] for row in rows]
+
+    # -- exact DBF / QPA layer ------------------------------------------
+
+    @staticmethod
+    def _step_points(task_list, limit, max_points):
+        """All dbf step points <= limit, value-identical to the scalar
+        enumeration: per-task ``cumsum`` reproduces the oracle's
+        repeated-addition floats bit-for-bit."""
+        eps_limit = limit + 1e-12
+        raw_bound = 0
+        for task in task_list:
+            if task.deadline <= eps_limit:
+                raw_bound += int((eps_limit - task.deadline)
+                                 // task.period) + 2
+        if raw_bound > max_points:
+            # defer to the scalar enumerator: identical distinct-point
+            # cap semantics (raises AnalysisError) without allocating
+            # the pathological raw sequence
+            return np.asarray(_deadlines_up_to(
+                task_list, limit, max_points=max_points))
+        parts = []
+        for task in task_list:
+            d, period = task.deadline, task.period
+            if d > eps_limit:
+                continue
+            count = int((eps_limit - d) // period) + 2
+            while True:
+                seq = np.cumsum(
+                    np.concatenate(([d], np.full(count - 1, period))))
+                if seq[-1] > eps_limit:
+                    break
+                count *= 2   # analytic count undershot (float drift)
+            parts.append(seq[seq <= eps_limit])
+        if not parts:
+            return np.empty(0)
+        return np.unique(np.concatenate(parts))
+
+    @staticmethod
+    def _dbf_sum(task_list, t):
+        """``total_dbf`` at an array of times; accumulates in task
+        order, matching the oracle's ``sum()``."""
+        h = np.zeros(t.shape)
+        for task in task_list:
+            h = h + np.where(
+                t < task.deadline, 0.0,
+                (np.floor((t - task.deadline) / task.period
+                          + DBF_JOB_EPS) + 1.0) * task.wcet)
+        return h
+
+    def _qpa_one(self, tasks, max_points) -> bool:
+        task_list = list(tasks)
+        if not task_list:
+            return True
+        total_u = 0.0
+        for task in task_list:
+            total_u += task.wcet / task.period
+        if total_u > 1.0 + 1e-12:
+            return False
+        bound = qpa_interval_bound(task_list)
+        points = self._step_points(task_list, bound, max_points)
+        if points.size == 0:
+            return True
+        h = self._dbf_sum(task_list, points)
+        return not bool((h > points + QPA_DEMAND_EPS).any())
+
+    def qpa_batch(self, demand_sets, *, max_points=200_000):
+        return [self._qpa_one(tasks, max_points)
+                for tasks in demand_sets]
+
+    def total_dbf_batch(self, tasks: Sequence, times):
+        h = self._dbf_sum(list(tasks), np.asarray(times, dtype=float))
+        return [float(x) for x in h]

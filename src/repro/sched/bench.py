@@ -1,0 +1,138 @@
+"""Schedulability-engine throughput bench (scalar vs vectorized).
+
+Times the Fig. 5 sweep once per backend — the ``python`` scalar oracle
+and the ``numpy`` vectorized engine — over identical batched campaign
+units (``workers=1``, no cache: pure backend compute), asserts the two
+acceptance-ratio curve families are **identical** (exact verdict
+equality, not tolerance), and appends the wall-clock trajectory to
+``BENCH_sched.json`` so every future backend PR reports its speedup
+against a written-down baseline (mirrors ``BENCH_engine.json`` /
+``BENCH_campaign.json``).
+
+The ≥3× vectorization speedup assertion is gated behind
+``REPRO_BENCH_STRICT`` like the other wall-clock gates; verdict
+equality always gates.  On a numpy-less host the bench records the
+scalar baseline and reports the vectorized path as unavailable.
+
+Environment knobs (all optional):
+
+=================================  ==================================
+``REPRO_BENCH_SCHED_SETS``         task sets per utilisation point
+``REPRO_BENCH_SCHED_CONFIGS``      comma-separated Fig. 5 config keys
+``REPRO_BENCH_MIN_SCHED_SPEEDUP``  strict-mode speedup floor (3.0)
+``REPRO_BENCH_STRICT``             enable wall-clock assertions
+=================================  ==================================
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from datetime import datetime, timezone
+from typing import Sequence
+
+from ..campaign.bench import curves_fingerprint, strict_enabled
+from .backend import numpy_available
+from .experiments import DEFAULT_UTILIZATIONS, FIG5_CONFIGS, fig5_campaign
+
+#: Default benchmark trajectory file, relative to the repository root.
+BENCH_FILE = "BENCH_sched.json"
+
+_ENV_SETS = "REPRO_BENCH_SCHED_SETS"
+_ENV_CONFIGS = "REPRO_BENCH_SCHED_CONFIGS"
+_ENV_MIN_SPEEDUP = "REPRO_BENCH_MIN_SCHED_SPEEDUP"
+
+
+def default_sets_per_point() -> int:
+    return int(os.environ.get(_ENV_SETS, "100"))
+
+
+def default_configs() -> tuple[str, ...]:
+    raw = os.environ.get(_ENV_CONFIGS, "").strip()
+    if not raw:
+        return tuple(FIG5_CONFIGS)
+    return tuple(key.strip() for key in raw.split(",") if key.strip())
+
+
+def min_sched_speedup(default: float = 3.0) -> float:
+    return float(os.environ.get(_ENV_MIN_SPEEDUP, str(default)))
+
+
+def run_sched_benchmark(*, configs: Sequence[str] | None = None,
+                        utilizations: Sequence[float] | None = None,
+                        sets_per_point: int | None = None,
+                        label: str = "") -> dict:
+    """Run the backend bench; returns one trajectory record."""
+    keys = tuple(configs) if configs else default_configs()
+    utils = tuple(utilizations) if utilizations else DEFAULT_UTILIZATIONS
+    sets = sets_per_point or default_sets_per_point()
+
+    def _timed(backend: str) -> tuple[float, dict]:
+        start = time.perf_counter()
+        curves = fig5_campaign(keys, utilizations=utils,
+                               sets_per_point=sets, workers=1,
+                               cache=None, backend=backend)
+        return time.perf_counter() - start, curves
+
+    python_seconds, python_curves = _timed("python")
+    units = len(keys) * len(utils)
+    sets_total = units * sets
+    record = {
+        "bench": "sched",
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "label": label,
+        "configs": list(keys),
+        "utilization_points": len(utils),
+        "sets_per_point": sets,
+        "task_sets": sets_total,
+        "python_seconds": round(python_seconds, 3),
+        "python_sets_per_second": round(
+            sets_total / python_seconds, 1) if python_seconds else 0.0,
+        "numpy_available": numpy_available(),
+    }
+    if numpy_available():
+        numpy_seconds, numpy_curves = _timed("numpy")
+        record.update({
+            "numpy_seconds": round(numpy_seconds, 3),
+            "numpy_sets_per_second": round(
+                sets_total / numpy_seconds, 1) if numpy_seconds else 0.0,
+            "speedup": round(
+                python_seconds / numpy_seconds, 3) if numpy_seconds
+            else 0.0,
+            "verdicts_identical": (
+                curves_fingerprint(python_curves)
+                == curves_fingerprint(numpy_curves)),
+        })
+    else:
+        record.update({
+            "numpy_seconds": None,
+            "numpy_sets_per_second": None,
+            "speedup": None,
+            "verdicts_identical": None,
+        })
+    return record
+
+
+def format_record(record: dict) -> str:
+    """Human-readable summary of one sched benchmark record."""
+    lines = [
+        "Schedulability engine: vectorized (numpy) vs scalar (python) "
+        f"backend ({','.join(record['configs'])} × "
+        f"{record['utilization_points']} points × "
+        f"{record['sets_per_point']} sets = {record['task_sets']} "
+        "task sets)",
+        f"{'python backend':<22s} {record['python_seconds']:>8.3f}s "
+        f"{record['python_sets_per_second']:>8.1f} sets/s",
+    ]
+    if record["numpy_available"]:
+        lines += [
+            f"{'numpy backend':<22s} {record['numpy_seconds']:>8.3f}s "
+            f"{record['numpy_sets_per_second']:>8.1f} sets/s",
+            f"{'speedup':<22s} {record['speedup']:>7.2f}x",
+            f"{'verdicts identical':<22s} {record['verdicts_identical']}",
+        ]
+    else:
+        lines.append("numpy backend          unavailable (optional "
+                     "extra not installed)")
+    return "\n".join(lines)

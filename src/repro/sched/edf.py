@@ -25,6 +25,19 @@ from ..errors import AnalysisError
 from .model import RTTask
 from .result import PartitionResult, Role
 
+#: Epsilon added to the job count before flooring in :meth:`DemandTask.dbf`.
+#: ``(t - D) / T`` can land one ulp below an integer when ``t`` sits
+#: exactly on a deadline multiple (``(0.3 - 0.1) / 0.1`` is
+#: ``1.9999999999999998``), silently dropping a whole job.  The fuzz is
+#: on the dimensionless job-count axis, so it is scale-free; job counts
+#: are bounded by the step-point cap (200k), far below 1/eps.  Every
+#: backend must use this same constant so demand at a step point is
+#: identical no matter which float path produced ``t``.
+DBF_JOB_EPS = 1e-9
+
+#: Slack allowed on the processor-demand comparison ``h(t) <= t``.
+QPA_DEMAND_EPS = 1e-9
+
 
 @dataclass(frozen=True)
 class DemandTask:
@@ -48,10 +61,17 @@ class DemandTask:
 
     def dbf(self, t: float) -> float:
         """Demand bound in [0, t]: max work with both release and
-        deadline inside the interval."""
+        deadline inside the interval.
+
+        The job count is epsilon-robust (see :data:`DBF_JOB_EPS`): a
+        ``t`` landing exactly on a deadline multiple counts that job
+        even when float division puts the quotient an ulp short of the
+        integer.
+        """
         if t < self.deadline:
             return 0.0
-        jobs = math.floor((t - self.deadline) / self.period) + 1
+        jobs = math.floor((t - self.deadline) / self.period
+                          + DBF_JOB_EPS) + 1
         return jobs * self.wcet
 
 
@@ -112,6 +132,23 @@ def _deadlines_up_to(tasks: Sequence[DemandTask], limit: float, *,
     return out
 
 
+def qpa_interval_bound(task_list: Sequence[DemandTask]) -> float:
+    """The analysis interval bound L of the QPA test.
+
+    ``dbf(t) <= t`` can only be violated below this bound, so the
+    step-point enumeration stops there.  Shared verbatim by every
+    backend — the bound decides which points exist, so it is part of
+    the verdict contract.
+    """
+    total_u = sum(t.utilization for t in task_list)
+    if total_u < 1.0 - 1e-9:
+        la = max(0.0, sum((t.period - t.deadline) * t.utilization
+                          for t in task_list) / (1.0 - total_u))
+        return max(la, max(t.deadline for t in task_list))
+    # U == 1: fall back to the hyperperiod-ish bound via max deadline
+    return 2 * max(t.deadline + t.period for t in task_list)
+
+
 def qpa_schedulable(tasks: Iterable[DemandTask], *,
                     max_points: int = 200_000) -> bool:
     """Exact EDF test on one processor via QPA.
@@ -127,16 +164,7 @@ def qpa_schedulable(tasks: Iterable[DemandTask], *,
     total_u = sum(t.utilization for t in task_list)
     if total_u > 1.0 + 1e-12:
         return False
-    # analysis interval bound L
-    if total_u < 1.0 - 1e-9:
-        la = max((t.period - t.deadline) * t.utilization
-                 for t in task_list)
-        la = max(0.0, sum((t.period - t.deadline) * t.utilization
-                          for t in task_list) / (1.0 - total_u))
-        bound = max(la, max(t.deadline for t in task_list))
-    else:
-        # U == 1: fall back to the hyperperiod-ish bound via max deadline
-        bound = 2 * max(t.deadline + t.period for t in task_list)
+    bound = qpa_interval_bound(task_list)
     points = _deadlines_up_to(task_list, bound, max_points=max_points)
     # QPA backward iteration
     if not points:
@@ -145,7 +173,7 @@ def qpa_schedulable(tasks: Iterable[DemandTask], *,
     d_min = points[0]
     while t >= d_min - 1e-12:
         h = total_dbf(task_list, t)
-        if h > t + 1e-9:
+        if h > t + QPA_DEMAND_EPS:
             return False
         if h < t - 1e-12:
             if h < d_min - 1e-12:
@@ -157,11 +185,48 @@ def qpa_schedulable(tasks: Iterable[DemandTask], *,
                 break
             t = points[idx]
         else:
-            idx = _largest_leq(points, t - 1e-9)
+            idx = _largest_leq(points, t - QPA_DEMAND_EPS)
             if idx < 0:
                 break
             t = points[idx]
     return True
+
+
+def dbf_scan_schedulable(tasks: Iterable[DemandTask], *,
+                         max_points: int = 200_000) -> bool:
+    """Brute-force exact EDF test: check ``dbf(t) <= t`` at **every**
+    step point up to the analysis bound.
+
+    This is the processor-demand criterion stated directly — the oracle
+    the QPA paper defines its fixed-point iteration against.  QPA must
+    agree with this scan on every input (the differential suite asserts
+    it); the vectorized backend implements exactly this scan, so scan
+    agreement is what makes QPA-vs-numpy verdict equality meaningful.
+    """
+    task_list = [t for t in tasks]
+    if not task_list:
+        return True
+    total_u = sum(t.utilization for t in task_list)
+    if total_u > 1.0 + 1e-12:
+        return False
+    bound = qpa_interval_bound(task_list)
+    points = _deadlines_up_to(task_list, bound, max_points=max_points)
+    return all(total_dbf(task_list, p) <= p + QPA_DEMAND_EPS
+               for p in points)
+
+
+def qpa_schedulable_batch(demand_sets: Sequence[Sequence[DemandTask]], *,
+                          backend: "str | None" = None,
+                          max_points: int = 200_000) -> list[bool]:
+    """Exact EDF verdict for many demand-task sets at once.
+
+    Multi-backend: ``backend=None`` follows ``REPRO_SCHED_BACKEND`` /
+    auto-detection; the vectorized backend evaluates the full demand
+    scan as arrays.  Verdicts are backend-invariant.
+    """
+    from .backend import get_backend
+    return get_backend(backend).qpa_batch(demand_sets,
+                                          max_points=max_points)
 
 
 def _largest_leq(points: list[float], value: float) -> int:

@@ -5,21 +5,26 @@ divided by m) and reports the percentage of randomly generated task
 sets each scheme's test accepts, for the paper's six configurations.
 
 The sweep runs on the campaign engine (:mod:`repro.campaign`): one
-work unit generates **one** task set and judges it under every scheme,
-so the 6 × 13 × 100 grid fans out across cores and caches on disk.
+work unit generates a **batch** of task sets and judges each under
+every scheme through the multi-backend engine (:mod:`.backend` —
+scalar oracle or vectorized numpy), so the 6 × 13 × 100 grid fans out
+across cores, caches on disk, and evaluates whole batches as arrays.
 Task-set identity derives from ``spawn_seed`` over the generation
 parameters alone — ``(seed, m, n, α, β, x, set index)`` — never from
-process state, scheme selection or unit-function version, so
-``workers=1`` and ``workers=N`` (and the cached replay) are
-bit-identical, and every scheme judges the *same* task sets.
+process state, scheme selection, batch boundaries, backend choice or
+unit-function version, so ``workers=1`` and ``workers=N`` (and the
+cached replay, and either backend) are bit-identical, and every scheme
+judges the *same* task sets.  ``_fig5_unit`` (one set per unit, scalar
+only) remains as the oracle path the equivalence tests replay against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 from ..campaign import run_campaign, run_grouped_campaign, spawn_seed
+from .backend import backend_override, get_backend
 from .hmr import partition_hmr
 from .lockstep import partition_lockstep
 from .partition import partition_flexstep
@@ -70,7 +75,13 @@ def task_set_seed(seed: int, m: int, n: int, alpha: float, beta: float,
 
 
 def _fig5_unit(spec: dict, rng_seed: int) -> dict:
-    """One work unit: generate one task set, judge it per scheme."""
+    """One scalar work unit: generate one task set, judge it per scheme.
+
+    The oracle-path unit: always the original scalar code, regardless
+    of ``REPRO_SCHED_BACKEND``.  Production sweeps use
+    :func:`_fig5_batch_unit`; this one remains for the equivalence
+    tests and for rebuilding any single task set from its spawn key.
+    """
     del rng_seed   # identity must not depend on unit version or schemes
     task_set = generate_task_set(
         spec["n"], spec["x"] * spec["m"], alpha=spec["alpha"],
@@ -85,6 +96,30 @@ def _fig5_unit(spec: dict, rng_seed: int) -> dict:
 _fig5_unit.campaign_version = "1"
 
 
+def _fig5_batch_unit(spec: dict, rng_seed: int) -> list[dict]:
+    """One batched work unit: ``set_count`` task sets judged per scheme.
+
+    Set ``set_start + j`` derives its RNG stream from
+    :func:`task_set_seed` exactly as the scalar unit does, so batch
+    boundaries never move task-set identity; the active backend
+    (``REPRO_SCHED_BACKEND`` — inherited by campaign workers) only
+    decides *how* the batch is evaluated, never the verdicts.
+    """
+    del rng_seed   # identity must not depend on unit version or schemes
+    seeds = [
+        task_set_seed(spec["seed"], spec["m"], spec["n"], spec["alpha"],
+                      spec["beta"], spec["x"], spec["set_start"] + j)
+        for j in range(spec["set_count"])
+    ]
+    return get_backend().judge_fig5(
+        m=spec["m"], n=spec["n"], alpha=spec["alpha"],
+        beta=spec["beta"], total_utilization=spec["x"] * spec["m"],
+        seeds=seeds, schemes=spec["schemes"])
+
+
+_fig5_batch_unit.campaign_version = "1"
+
+
 def _fig5_specs(*, m: int, n: int, alpha: float, beta: float,
                 utilizations: Sequence[float], sets_per_point: int,
                 seed: int, schemes: Sequence[str]) -> list[dict]:
@@ -92,6 +127,29 @@ def _fig5_specs(*, m: int, n: int, alpha: float, beta: float,
         {"m": m, "n": n, "alpha": alpha, "beta": beta, "x": x,
          "set": index, "seed": seed, "schemes": list(schemes)}
         for x in utilizations for index in range(sets_per_point)
+    ]
+
+
+def _fig5_batch_specs(*, m: int, n: int, alpha: float, beta: float,
+                      utilizations: Sequence[float], sets_per_point: int,
+                      seed: int, schemes: Sequence[str],
+                      batch_size: Optional[int] = None) -> list[dict]:
+    """The batched grid: one unit per (utilisation point, set chunk).
+
+    ``batch_size`` defaults to ``sets_per_point`` — one unit per x-axis
+    point, the sweet spot for the vectorized backend; smaller batches
+    trade vector width for campaign fan-out.
+    """
+    size = sets_per_point if batch_size is None else batch_size
+    if size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {size}")
+    return [
+        {"m": m, "n": n, "alpha": alpha, "beta": beta, "x": x,
+         "set_start": start,
+         "set_count": min(size, sets_per_point - start),
+         "seed": seed, "schemes": list(schemes)}
+        for x in utilizations
+        for start in range(0, sets_per_point, size)
     ]
 
 
@@ -111,6 +169,28 @@ def _aggregate_points(specs: Sequence[dict], verdicts: Sequence[dict],
     ]
 
 
+def _aggregate_batch_points(specs: Sequence[dict],
+                            results: Sequence[Sequence[dict]],
+                            utilizations: Sequence[float],
+                            sets_per_point: int,
+                            schemes: Sequence[str],
+                            ) -> list[SchedulabilityPoint]:
+    """Aggregate batched-unit results (a verdict list per unit)."""
+    accepted: dict[float, dict[str, int]] = {
+        x: {s: 0 for s in schemes} for x in utilizations}
+    for spec, verdicts in zip(specs, results):
+        bucket = accepted[spec["x"]]
+        for verdict in verdicts:
+            for s in schemes:
+                bucket[s] += bool(verdict[s])
+    return [
+        SchedulabilityPoint(
+            utilization=x,
+            ratios={s: accepted[x][s] / sets_per_point for s in schemes})
+        for x in utilizations
+    ]
+
+
 def schedulability_curve(*, m: int, n: int, alpha: float, beta: float,
                          utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
                          sets_per_point: int = 100,
@@ -119,22 +199,27 @@ def schedulability_curve(*, m: int, n: int, alpha: float, beta: float,
                                                    "flexstep"),
                          workers: int | None = None,
                          cache: object = "auto",
+                         backend: str | None = None,
+                         batch_size: int | None = None,
                          ) -> list[SchedulabilityPoint]:
     """Generate the Fig. 5 curve for one configuration.
 
     Every scheme judges the *same* task sets at each utilisation point,
     so curves are directly comparable.  ``workers``/``cache`` follow the
     campaign-engine defaults (``REPRO_WORKERS``, ``REPRO_CACHE_DIR``);
-    results are independent of both.
+    ``backend`` pins the schedulability backend for this run (default:
+    ``REPRO_SCHED_BACKEND`` / auto).  Results are independent of all
+    three — and of ``batch_size``.
     """
-    specs = _fig5_specs(m=m, n=n, alpha=alpha, beta=beta,
-                        utilizations=utilizations,
-                        sets_per_point=sets_per_point, seed=seed,
-                        schemes=schemes)
-    run = run_campaign(_fig5_unit, specs, seed=seed, workers=workers,
-                       cache=cache)
-    return _aggregate_points(specs, run.results, utilizations,
-                             sets_per_point, schemes)
+    specs = _fig5_batch_specs(m=m, n=n, alpha=alpha, beta=beta,
+                              utilizations=utilizations,
+                              sets_per_point=sets_per_point, seed=seed,
+                              schemes=schemes, batch_size=batch_size)
+    with backend_override(backend):
+        run = run_campaign(_fig5_batch_unit, specs, seed=seed,
+                           workers=workers, cache=cache)
+    return _aggregate_batch_points(specs, run.results, utilizations,
+                                   sets_per_point, schemes)
 
 
 def fig5_campaign(configs: Mapping[str, dict] | Sequence[str] | None = None,
@@ -145,6 +230,8 @@ def fig5_campaign(configs: Mapping[str, dict] | Sequence[str] | None = None,
                   schemes: Sequence[str] = ("lockstep", "hmr", "flexstep"),
                   workers: int | None = None,
                   cache: object = "auto",
+                  backend: str | None = None,
+                  batch_size: int | None = None,
                   ) -> dict[str, list[SchedulabilityPoint]]:
     """All Fig. 5 configurations as **one** campaign grid.
 
@@ -160,17 +247,19 @@ def fig5_campaign(configs: Mapping[str, dict] | Sequence[str] | None = None,
     else:
         chosen = {key: FIG5_CONFIGS[key] for key in configs}
     per_config = {
-        key: _fig5_specs(
+        key: _fig5_batch_specs(
             m=cfg["m"], n=cfg["n"], alpha=cfg["alpha"], beta=cfg["beta"],
             utilizations=utilizations, sets_per_point=sets_per_point,
-            seed=seed, schemes=schemes)
+            seed=seed, schemes=schemes, batch_size=batch_size)
         for key, cfg in chosen.items()
     }
-    grouped, _stats = run_grouped_campaign(
-        _fig5_unit, per_config, seed=seed, workers=workers, cache=cache)
+    with backend_override(backend):
+        grouped, _stats = run_grouped_campaign(
+            _fig5_batch_unit, per_config, seed=seed, workers=workers,
+            cache=cache)
     return {
-        key: _aggregate_points(specs, grouped[key], utilizations,
-                               sets_per_point, schemes)
+        key: _aggregate_batch_points(specs, grouped[key], utilizations,
+                                     sets_per_point, schemes)
         for key, specs in per_config.items()
     }
 

@@ -29,10 +29,21 @@ utilisation ≤ 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Optional
 
 from ..errors import PartitioningError
 from .model import TaskClass, TaskSet
 from .result import Assignment, PartitionResult, Role
+
+
+def partition_lockstep_batch(task_sets: Iterable[TaskSet],
+                             num_cores: int, *,
+                             backend: Optional[str] = None) -> list[bool]:
+    """LockStep accept/reject verdicts over a batch of task sets
+    (multi-backend; see :func:`partition_flexstep_batch`)."""
+    from .backend import TaskSetBatch, get_backend
+    return get_backend(backend).partition_verdicts(
+        TaskSetBatch.from_task_sets(task_sets), num_cores, "lockstep")
 
 
 @dataclass

@@ -34,15 +34,27 @@ class TestFig5Equivalence:
         first = _fingerprint(_curve(2, cache=tmp_path))
         # every unit digest is now on disk: a second sweep is pure replay
         from repro.campaign import run_campaign
-        from repro.sched.experiments import _fig5_specs, _fig5_unit
-        specs = _fig5_specs(m=4, n=24, alpha=0.25, beta=0.125,
-                            schemes=("lockstep", "hmr", "flexstep"),
-                            **FIG5_KW)
-        replay = run_campaign(_fig5_unit, specs, seed=FIG5_KW["seed"],
-                              cache=tmp_path)
+        from repro.sched.experiments import (
+            _fig5_batch_specs,
+            _fig5_batch_unit,
+        )
+        specs = _fig5_batch_specs(m=4, n=24, alpha=0.25, beta=0.125,
+                                  schemes=("lockstep", "hmr", "flexstep"),
+                                  **FIG5_KW)
+        replay = run_campaign(_fig5_batch_unit, specs,
+                              seed=FIG5_KW["seed"], cache=tmp_path)
         assert replay.stats.computed == 0
         assert replay.stats.cached == len(specs)
         assert _fingerprint(_curve(1, cache=tmp_path)) == first
+
+    def test_batch_size_never_moves_results(self):
+        """Task-set identity derives from per-set spawn seeds, so the
+        unit batching is pure execution shape."""
+        whole = _curve(1)
+        chopped = schedulability_curve(m=4, n=24, alpha=0.25, beta=0.125,
+                                       workers=1, cache=None,
+                                       batch_size=3, **FIG5_KW)
+        assert _fingerprint(whole) == _fingerprint(chopped)
 
     def test_campaign_grid_matches_per_config_curves(self):
         """fig5_campaign (one flat grid) == schedulability_curve per

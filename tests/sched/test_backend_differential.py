@@ -1,0 +1,313 @@
+"""Property-based differential suite: numpy backend vs scalar oracle.
+
+The testing convention of the multi-backend engine: the pure-Python
+scalar path is the **oracle**, and every other backend must reproduce
+its accept/reject verdicts exactly — boolean equality on every input,
+never tolerance.  QPA itself is differentially pinned against the
+brute-force processor-demand scan (``dbf(t) <= t`` at *every* step
+point), the criterion the QPA fixed-point iteration is defined
+against.
+
+numpy-dependent cases skip cleanly when the optional extra is absent
+(the CI matrix runs the suite both ways).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.sched import (
+    TaskSetBatch,
+    available_backends,
+    generate_task_set,
+    get_backend,
+    partition_flexstep,
+    partition_flexstep_batch,
+    partition_hmr,
+    partition_hmr_batch,
+    partition_lockstep,
+    partition_lockstep_batch,
+)
+from repro.sched.edf import (
+    DemandTask,
+    dbf_scan_schedulable,
+    qpa_schedulable,
+    qpa_schedulable_batch,
+    total_dbf,
+)
+from repro.sched.experiments import (
+    FIG5_CONFIGS,
+    fig5_campaign,
+    task_set_seed,
+)
+
+needs_numpy = pytest.mark.skipif(
+    "numpy" not in available_backends(),
+    reason="numpy optional extra not installed")
+
+SCHEMES = ("lockstep", "hmr", "flexstep")
+
+
+def _fig5_seeds(m, n, alpha, beta, x, count, seed=2025):
+    return [task_set_seed(seed, m, n, alpha, beta, x, j)
+            for j in range(count)]
+
+
+def _random_demand_tasks(seed, max_tasks=12):
+    rng = random.Random(seed)
+    tasks = []
+    for _ in range(rng.randint(1, max_tasks)):
+        period = rng.uniform(4.0, 80.0)
+        deadline = rng.uniform(period * 0.35, period)
+        wcet = rng.uniform(0.04, 0.55) * deadline
+        tasks.append(DemandTask(wcet=wcet, deadline=deadline,
+                                period=period))
+    return tasks
+
+
+def _decimal_demand_tasks(seed, max_tasks=8):
+    """Boundary-heavy corpus: every parameter on a 0.1 / 0.01 grid, so
+    step points constantly land exactly on deadline multiples."""
+    rng = random.Random(seed)
+    tasks = []
+    for _ in range(rng.randint(1, max_tasks)):
+        period_ticks = rng.randint(2, 40)
+        deadline_ticks = rng.randint(max(1, int(period_ticks * 0.4)),
+                                     period_ticks)
+        wcet_ticks = rng.randint(1, max(1, deadline_ticks * 6))
+        tasks.append(DemandTask(wcet=wcet_ticks * 0.01,
+                                deadline=deadline_ticks * 0.1,
+                                period=period_ticks * 0.1))
+    return tasks
+
+
+@needs_numpy
+class TestGenerationIdentity:
+    """Same spawn seeds, bit-identical task sets in both backends."""
+
+    @pytest.mark.parametrize("n,x,alpha,beta", [
+        (16, 0.5, 0.25, 0.0),
+        (40, 0.75, 0.125, 0.125),
+        (160, 0.95, 0.25, 0.25),
+    ])
+    def test_parameters_bit_identical(self, n, x, alpha, beta):
+        kw = dict(n=n, total_utilization=x * 8, alpha=alpha, beta=beta)
+        seeds = _fig5_seeds(8, n, alpha, beta, x, 20)
+        ref = get_backend("python").generate_batch(seeds=seeds, **kw)
+        vec = get_backend("numpy").generate_batch(seeds=seeds, **kw)
+        for a, b in zip(ref.as_task_sets(), vec.as_task_sets()):
+            for ta, tb in zip(a, b):
+                # float equality must be exact, so compare hex forms
+                assert ta.wcet.hex() == tb.wcet.hex()
+                assert ta.period.hex() == tb.period.hex()
+                assert ta.cls is tb.cls
+
+    def test_array_roundtrip_is_exact(self):
+        sets = [generate_task_set(12, 2.0, alpha=0.25, beta=0.25,
+                                  rng=random.Random(s))
+                for s in range(5)]
+        batch = TaskSetBatch.from_task_sets(sets)
+        batch.as_arrays()
+        rebuilt = TaskSetBatch.from_arrays(*batch.as_arrays())
+        for a, b in zip(sets, rebuilt.as_task_sets()):
+            for ta, tb in zip(a, b):
+                assert ta.wcet.hex() == tb.wcet.hex()
+                assert ta.period.hex() == tb.period.hex()
+                assert ta.cls is tb.cls
+
+
+@needs_numpy
+class TestVerdictEquivalence:
+    """Hundreds of seeded random task sets: identical verdicts."""
+
+    def test_fig5_grid_corpus(self):
+        """All six Fig. 5 shapes × three utilisation pressures; both
+        accept and reject outcomes must be exercised."""
+        outcomes = set()
+        py, vec = get_backend("python"), get_backend("numpy")
+        for cfg in FIG5_CONFIGS.values():
+            for x in (0.45, 0.65, 0.9):
+                kw = dict(n=cfg["n"], total_utilization=x * cfg["m"],
+                          alpha=cfg["alpha"], beta=cfg["beta"])
+                seeds = _fig5_seeds(cfg["m"], cfg["n"], cfg["alpha"],
+                                    cfg["beta"], x, 12)
+                ref = py.generate_batch(seeds=seeds, **kw)
+                expected = py.judge_batch(ref, cfg["m"], SCHEMES)
+                actual = vec.judge_batch(
+                    vec.generate_batch(seeds=seeds, **kw),
+                    cfg["m"], SCHEMES)
+                assert expected == actual
+                for verdict in expected:
+                    outcomes.update(verdict.values())
+        assert outcomes == {True, False}
+
+    def test_heterogeneous_class_counts(self):
+        """Batches mixing different (n_v3, n_v2) signatures exercise
+        the kernels' row grouping."""
+        rng = random.Random(1234)
+        sets = []
+        for i in range(40):
+            alpha = rng.choice([0.0, 0.125, 0.25, 0.5])
+            beta = rng.choice([0.0, 0.125, 0.25])
+            sets.append(generate_task_set(
+                24, rng.uniform(1.0, 3.8), alpha=alpha, beta=beta,
+                rng=random.Random(5000 + i)))
+        batch = TaskSetBatch.from_task_sets(sets)
+        expected = get_backend("python").judge_batch(batch, 4, SCHEMES)
+        actual = get_backend("numpy").judge_batch(batch, 4, SCHEMES)
+        assert expected == actual
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 8])
+    def test_tight_core_counts(self, m):
+        """m at or below the per-scheme core floors (copies need
+        distinct cores) must fail identically."""
+        sets = [generate_task_set(12, 0.4 * m, alpha=0.25, beta=0.25,
+                                  rng=random.Random(s))
+                for s in range(10)]
+        batch = TaskSetBatch.from_task_sets(sets)
+        expected = get_backend("python").judge_batch(batch, m, SCHEMES)
+        actual = get_backend("numpy").judge_batch(batch, m, SCHEMES)
+        assert expected == actual
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    def test_property_random_shapes(self, seed, m):
+        rng = random.Random(seed)
+        n = rng.randint(4, 40)
+        alpha = rng.choice([0.0, 0.1, 0.25, 0.4])
+        beta = rng.choice([0.0, 0.1, 0.25])
+        u = rng.uniform(0.3, 0.98) * m
+        sets = [generate_task_set(n, u, alpha=alpha, beta=beta,
+                                  rng=random.Random(seed + k))
+                for k in range(4)]
+        batch = TaskSetBatch.from_task_sets(sets)
+        assert get_backend("python").judge_batch(batch, m, SCHEMES) \
+            == get_backend("numpy").judge_batch(batch, m, SCHEMES)
+
+
+@needs_numpy
+class TestPartitionBatchApis:
+    """The per-scheme batch entry points match the scalar partitioners
+    one-to-one, including FlexStep's mode variants."""
+
+    @pytest.fixture(scope="class")
+    def task_sets(self):
+        return [generate_task_set(20, 2.6, alpha=0.25, beta=0.125,
+                                  rng=random.Random(s))
+                for s in range(30)]
+
+    @pytest.mark.parametrize("mode", ["auto", "strict", "relaxed"])
+    def test_flexstep_modes(self, task_sets, mode):
+        expected = [partition_flexstep(ts, 4, mode=mode).success
+                    for ts in task_sets]
+        for backend in available_backends():
+            assert partition_flexstep_batch(
+                task_sets, 4, mode=mode, backend=backend) == expected
+
+    def test_lockstep(self, task_sets):
+        expected = [partition_lockstep(ts, 8).success
+                    for ts in task_sets]
+        for backend in available_backends():
+            assert partition_lockstep_batch(
+                task_sets, 8, backend=backend) == expected
+
+    def test_hmr(self, task_sets):
+        expected = [partition_hmr(ts, 8).success for ts in task_sets]
+        for backend in available_backends():
+            assert partition_hmr_batch(
+                task_sets, 8, backend=backend) == expected
+
+
+class TestQpaAgreesWithDemandScan:
+    """QPA vs the brute-force scan of ``total_dbf`` over all deadline
+    points — the oracle the QPA paper defines the iteration against."""
+
+    def test_random_corpus(self):
+        outcomes = set()
+        for seed in range(400):
+            tasks = _random_demand_tasks(seed)
+            try:
+                fast = qpa_schedulable(tasks)
+            except AnalysisError:
+                continue
+            assert fast == dbf_scan_schedulable(tasks), seed
+            outcomes.add(fast)
+        assert outcomes == {True, False}
+
+    def test_decimal_boundary_corpus(self):
+        for seed in range(300):
+            tasks = _decimal_demand_tasks(seed)
+            try:
+                fast = qpa_schedulable(tasks)
+            except AnalysisError:
+                continue
+            assert fast == dbf_scan_schedulable(tasks), seed
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_property_qpa_equals_scan(self, seed):
+        tasks = _random_demand_tasks(seed, max_tasks=8)
+        try:
+            fast = qpa_schedulable(tasks)
+        except AnalysisError:
+            return
+        assert fast == dbf_scan_schedulable(tasks)
+
+
+@needs_numpy
+class TestQpaBackendEquivalence:
+    def test_random_corpus(self):
+        demand_sets, expected = [], []
+        for seed in range(300):
+            tasks = _random_demand_tasks(seed)
+            try:
+                expected.append(qpa_schedulable(tasks))
+            except AnalysisError:
+                continue
+            demand_sets.append(tasks)
+        assert qpa_schedulable_batch(demand_sets, backend="numpy") \
+            == expected
+        assert True in expected and False in expected
+
+    def test_decimal_boundary_corpus(self):
+        demand_sets, expected = [], []
+        for seed in range(300):
+            tasks = _decimal_demand_tasks(seed)
+            try:
+                expected.append(qpa_schedulable(tasks))
+            except AnalysisError:
+                continue
+            demand_sets.append(tasks)
+        assert qpa_schedulable_batch(demand_sets, backend="numpy") \
+            == expected
+
+    def test_empty_and_overload(self):
+        over = [DemandTask(wcet=6, deadline=10, period=10),
+                DemandTask(wcet=5, deadline=10, period=10)]
+        assert qpa_schedulable_batch([[], over], backend="numpy") \
+            == [True, False]
+
+    def test_total_dbf_batch_matches_scalar(self):
+        tasks = _random_demand_tasks(77)
+        times = [0.5 * k for k in range(1, 120)]
+        vec = get_backend("numpy").total_dbf_batch(tasks, times)
+        ref = [total_dbf(tasks, t) for t in times]
+        assert vec == ref
+
+
+@needs_numpy
+class TestFig5TableEquality:
+    """Acceptance criterion: for every Fig. 5 configuration the two
+    backends produce **identical** acceptance-ratio tables."""
+
+    def test_all_configs_exact(self):
+        kwargs = dict(sets_per_point=6, seed=2025, workers=1, cache=None)
+        ref = fig5_campaign(backend="python", **kwargs)
+        vec = fig5_campaign(backend="numpy", **kwargs)
+        assert set(ref) == set(FIG5_CONFIGS)
+        for key in FIG5_CONFIGS:
+            ref_table = [(p.utilization, p.ratios) for p in ref[key]]
+            vec_table = [(p.utilization, p.ratios) for p in vec[key]]
+            assert ref_table == vec_table, key

@@ -45,6 +45,54 @@ class TestDbf:
             DemandTask(wcet=3, deadline=2, period=5)
 
 
+class TestDbfFloatBoundary:
+    """``t`` landing exactly on a deadline multiple must count the job.
+
+    ``(t - D) / T`` can fall one ulp short of an integer for decimal
+    parameters (``(0.3 - 0.1) / 0.1 == 1.9999999999999998``), silently
+    dropping a whole job from the demand bound.  The job count is
+    epsilon-robust so the scalar and the vectorized backends — which
+    reach the same mathematical ``t`` through different float paths
+    (sequential addition vs. cumulative sums) — can never disagree on
+    demand at a step point.
+    """
+
+    def test_decimal_boundary_counts_the_job(self):
+        t = DemandTask(wcet=0.05, deadline=0.1, period=0.1)
+        # deadlines intended at 0.1, 0.2, 0.3: three jobs due by t=0.3
+        assert t.dbf(0.3) == pytest.approx(0.15)
+
+    def test_boundary_agrees_with_sequential_enumeration(self):
+        """Demand at the literal ``0.3`` equals demand at the same
+        deadline reached by the enumeration path's repeated addition
+        (``0.1 + 0.1 + 0.1 == 0.30000000000000004``)."""
+        t = DemandTask(wcet=0.05, deadline=0.1, period=0.1)
+        enumerated = 0.1 + 0.1 + 0.1
+        assert t.dbf(0.3) == t.dbf(enumerated)
+
+    def test_integer_grid_matches_exact_arithmetic(self):
+        """Tasks on a 0.1 grid: job counts at every grid point must
+        match the exact integer-arithmetic oracle."""
+        rng = random.Random(20250726)
+        for _ in range(200):
+            d_ticks = rng.randint(1, 30)
+            t_ticks = rng.randint(d_ticks, 40)
+            task = DemandTask(wcet=0.01, deadline=d_ticks * 0.1,
+                              period=t_ticks * 0.1)
+            for at_ticks in range(0, 200, 7):
+                expected = 0 if at_ticks < d_ticks else \
+                    (at_ticks - d_ticks) // t_ticks + 1
+                assert task.dbf(at_ticks * 0.1) \
+                    == pytest.approx(expected * 0.01), \
+                    (d_ticks, t_ticks, at_ticks)
+
+    def test_epsilon_does_not_overcount_interior_points(self):
+        t = DemandTask(wcet=2.0, deadline=5.0, period=10.0)
+        assert t.dbf(14.9) == 2.0
+        assert t.dbf(14.999999) == 2.0
+        assert t.dbf(15.0) == 4.0
+
+
 class TestQpa:
     def test_empty_schedulable(self):
         assert qpa_schedulable([])
