@@ -10,7 +10,6 @@ Not figures from the paper — these probe the design choices it makes:
   vs the auto policy used in Fig. 5.
 """
 
-from repro.analysis.latency import detection_latency_experiment
 from repro.analysis.slowdown import measure_flexstep, \
     measure_vanilla_cycles
 from repro.config import SoCConfig

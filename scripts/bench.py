@@ -14,7 +14,10 @@ under the parallel campaign engine into ``BENCH_campaign.json``;
 ``--bench scenarios`` measures scenario-catalog wall-clock and
 cached-replay speedup into ``BENCH_scenarios.json``; ``--bench sched``
 measures the vectorized (numpy) schedulability backend against the
-scalar oracle into ``BENCH_sched.json``.
+scalar oracle into ``BENCH_sched.json``; ``--bench soc`` measures the
+heap co-simulation scheduler against the loop oracle over a
+Fig. 4/6/7-shaped grid into ``BENCH_soc.json`` (scheduler identity
+always gates; the >=2x at 8+ cores wall-clock gate is strict-mode).
 
 Defaults come from the ``REPRO_BENCH_*`` environment variables (see
 ``repro/perfbench.py`` and ``repro/campaign/bench.py``); flags override
@@ -36,6 +39,7 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro import perfbench  # noqa: E402  (needs the sys.path insert)
 from repro.campaign import bench as campaign_bench  # noqa: E402
+from repro.flexstep import bench as soc_bench  # noqa: E402
 from repro.scenarios import bench as scenario_bench  # noqa: E402
 from repro.sched import bench as sched_bench  # noqa: E402
 
@@ -166,12 +170,46 @@ def _run_sched(args: argparse.Namespace) -> int:
     return status
 
 
+def _run_soc(args: argparse.Namespace) -> int:
+    points = None
+    if args.points:
+        points = [key.strip() for key in args.points.split(",")
+                  if key.strip()]
+    record = soc_bench.run_soc_benchmark(
+        points=points, repeats=args.repeats, label=args.label)
+    print(soc_bench.format_record(record))
+    status = 0
+    if not record["identical"]:
+        print("ERROR: heap scheduler diverged from the loop oracle — "
+              "arbitration-identity regression", file=sys.stderr)
+        status = 1
+    threshold = soc_bench.min_soc_speedup(2.0)
+    eight_plus = record["speedup_8plus_geomean"]
+    if eight_plus is not None and eight_plus < threshold:
+        if campaign_bench.strict_enabled():
+            print(f"ERROR: 8+-core scheduler speedup {eight_plus}x "
+                  f"below the {threshold}x target "
+                  "(REPRO_BENCH_STRICT set)", file=sys.stderr)
+            status = 1
+        else:
+            print(f"note: 8+-core scheduler speedup {eight_plus}x "
+                  f"below the {threshold}x target on this host; set "
+                  "REPRO_BENCH_STRICT=1 to make this fatal",
+                  file=sys.stderr)
+    if args.dry_run:
+        return status
+    path = perfbench.append_record(record, args.output, bench="soc")
+    print(f"\nappended record to {path}")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run a repo benchmark and append the record to its "
                     "perf trajectory file.")
     parser.add_argument(
-        "--bench", choices=("engine", "campaign", "scenarios", "sched"),
+        "--bench",
+        choices=("engine", "campaign", "scenarios", "sched", "soc"),
         default="engine",
         help="which benchmark to run (default: engine)")
     parser.add_argument(
@@ -211,6 +249,11 @@ def main(argv: list[str] | None = None) -> int:
         "--scenarios", default=None,
         help="comma-separated catalog scenario names (default: "
              f"{','.join(scenario_bench.DEFAULT_SCENARIOS)})")
+    soc = parser.add_argument_group("soc bench")
+    soc.add_argument(
+        "--points", default=None,
+        help="comma-separated soc grid point names "
+             f"(default: {','.join(soc_bench.default_points())})")
     args = parser.parse_args(argv)
 
     if args.bench == "campaign":
@@ -219,6 +262,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_scenarios(args)
     if args.bench == "sched":
         return _run_sched(args)
+    if args.bench == "soc":
+        return _run_soc(args)
     return _run_engine(args)
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .config import SOC_SCHED_CHOICES
 from .sched.backend import BACKEND_CHOICES
 from .scenarios import (
     CATALOG,
@@ -66,7 +67,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scenario = _scaled(get_scenario(name), args)
         result = run_scenario(scenario, workers=args.workers,
                               cache=cache, seed=args.seed,
-                              backend=args.backend)
+                              backend=args.backend,
+                              soc_sched=args.soc_sched)
         print(result.render())
         if not args.dry_run:
             path = result.save(args.report_dir)
@@ -122,6 +124,12 @@ def main(argv: "list[str] | None" = None) -> int:
                           "(default REPRO_SCHED_BACKEND or auto: numpy "
                           "when installed, else pure python; verdicts "
                           "are backend-invariant)")
+    run.add_argument("--soc-sched", default=None,
+                     choices=SOC_SCHED_CHOICES,
+                     help="co-simulation scheduler for co-sim scenarios "
+                          "(default REPRO_SOC_SCHED or auto = heap; "
+                          "'loop' is the round-scan oracle; results "
+                          "are scheduler-invariant)")
     run.add_argument("--seed", type=int, default=None,
                      help="override the scenario's built-in seed")
     run.add_argument("--no-cache", action="store_true",

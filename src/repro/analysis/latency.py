@@ -44,7 +44,7 @@ from ..flexstep.faults import (
     FaultTarget,
     install_injector,
 )
-from ..flexstep.soc import FlexStepSoC
+from ..flexstep.soc import FlexStepSoC, soc_sched_override
 from ..sim.stats import Histogram, percentile
 from ..workloads.generator import GeneratorOptions, cached_program
 from ..workloads.profiles import WorkloadProfile
@@ -258,6 +258,7 @@ def detection_latency_experiment(
         profile: WorkloadProfile, *,
         workers: int | None = None,
         cache: object = "auto",
+        soc_sched: str | None = None,
         **kwargs) -> LatencyResult:
     """Inject faults into one workload's verification stream.
 
@@ -276,20 +277,23 @@ def detection_latency_experiment(
             f"detection_latency_experiment got unknown options {unknown}")
     options = {**FIG7_DEFAULTS, **kwargs}
     specs = _fig7_specs(profile, **options)
-    run = run_campaign(_fig7_unit, specs, seed=options["seed"],
-                       workers=workers, cache=cache)
+    with soc_sched_override(soc_sched):
+        run = run_campaign(_fig7_unit, specs, seed=options["seed"],
+                           workers=workers, cache=cache)
     return merge_latency_units(profile.name, run.results)
 
 
 def latency_suite(profiles: Sequence[WorkloadProfile],
                   workers: int | None = None,
                   cache: object = "auto",
+                  soc_sched: str | None = None,
                   **kwargs) -> list[LatencyResult]:
     """Fig. 7: one latency distribution per workload.
 
     The whole profile × repeat grid is submitted as a single campaign,
     so slow workloads overlap with fast ones instead of serialising at
-    suite boundaries.
+    suite boundaries.  ``soc_sched`` pins the (result-invariant) co-sim
+    scheduler across the fan-out.
     """
     unknown = set(kwargs) - set(FIG7_DEFAULTS)
     if unknown:
@@ -299,8 +303,9 @@ def latency_suite(profiles: Sequence[WorkloadProfile],
         profile.name: _fig7_specs(profile, **options)
         for profile in profiles
     }
-    sliced, _stats = run_grouped_campaign(
-        _fig7_unit, groups, seed=options["seed"], workers=workers,
-        cache=cache)
+    with soc_sched_override(soc_sched):
+        sliced, _stats = run_grouped_campaign(
+            _fig7_unit, groups, seed=options["seed"], workers=workers,
+            cache=cache)
     return [merge_latency_units(profile.name, sliced[profile.name])
             for profile in profiles]

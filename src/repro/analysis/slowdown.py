@@ -24,7 +24,7 @@ from typing import Optional, Sequence
 from ..campaign import run_campaign
 from ..config import SoCConfig, soc_config_from_dict, soc_config_to_dict
 from ..errors import VerificationMismatch
-from ..flexstep.soc import FlexStepSoC
+from ..flexstep.soc import FlexStepSoC, soc_sched_override
 from ..isa.program import Program
 from ..sim.stats import geomean
 from ..workloads.generator import (
@@ -138,11 +138,19 @@ def slowdown_suite(profiles: Sequence[WorkloadProfile], *,
                    target_instructions: int = 40_000,
                    config: SoCConfig | None = None,
                    workers: int | None = None,
-                   cache: object = "auto") -> list[SlowdownRow]:
-    """Fig. 4 rows for a workload suite (LockStep, FlexStep, Nzdc)."""
-    run = run_campaign(
-        _fig4_unit, _suite_specs(profiles, target_instructions, config),
-        workers=workers, cache=cache)
+                   cache: object = "auto",
+                   soc_sched: str | None = None) -> list[SlowdownRow]:
+    """Fig. 4 rows for a workload suite (LockStep, FlexStep, Nzdc).
+
+    ``soc_sched`` pins the co-sim scheduler for every unit (worker
+    processes inherit it); results are scheduler-invariant, so it is
+    an execution knob only — never part of unit identity.
+    """
+    with soc_sched_override(soc_sched):
+        run = run_campaign(
+            _fig4_unit,
+            _suite_specs(profiles, target_instructions, config),
+            workers=workers, cache=cache)
     return [SlowdownRow(**row) for row in run.results]
 
 
@@ -182,11 +190,14 @@ _fig6_unit.campaign_version = "1"
 def verification_mode_comparison(profiles: Sequence[WorkloadProfile], *,
                                  target_instructions: int = 40_000,
                                  workers: int | None = None,
-                                 cache: object = "auto") -> list[ModeRow]:
+                                 cache: object = "auto",
+                                 soc_sched: str | None = None,
+                                 ) -> list[ModeRow]:
     """Fig. 6: FlexStep slowdown in dual- vs triple-core mode."""
-    run = run_campaign(
-        _fig6_unit, _suite_specs(profiles, target_instructions, None),
-        workers=workers, cache=cache)
+    with soc_sched_override(soc_sched):
+        run = run_campaign(
+            _fig6_unit, _suite_specs(profiles, target_instructions, None),
+            workers=workers, cache=cache)
     return [ModeRow(**row) for row in run.results]
 
 

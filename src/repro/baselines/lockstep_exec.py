@@ -15,7 +15,7 @@ do not drive the bus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..config import CoreConfig

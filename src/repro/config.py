@@ -24,6 +24,13 @@ DEFAULT_CLOCK_HZ: int = 1_600_000_000
 #: Default checking-segment instruction-count limit (Sec. III-A).
 DEFAULT_SEGMENT_LIMIT: int = 5000
 
+#: Co-simulation scheduler names accepted by :class:`SoCConfig` and the
+#: ``REPRO_SOC_SCHED`` environment variable (``auto`` resolves to
+#: ``heap``; ``loop`` is the round-scan oracle).  Both schedulers are
+#: bit-identical, so the knob is excluded from campaign identity — see
+#: :func:`soc_config_to_dict`.
+SOC_SCHED_CHOICES: tuple[str, ...] = ("auto", "loop", "heap")
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -165,10 +172,18 @@ class SoCConfig:
     core: CoreConfig = field(default_factory=CoreConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     flexstep: FlexStepConfig = field(default_factory=FlexStepConfig)
+    #: Co-simulation scheduler: ``auto`` defers to ``REPRO_SOC_SCHED``
+    #: (then ``heap``); ``loop``/``heap`` pin it for this SoC.  An
+    #: execution knob — never part of experiment identity.
+    soc_sched: str = "auto"
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:
             raise ConfigurationError("num_cores must be >= 1")
+        if self.soc_sched not in SOC_SCHED_CHOICES:
+            raise ConfigurationError(
+                f"soc_sched must be one of {SOC_SCHED_CHOICES}, "
+                f"got {self.soc_sched!r}")
 
     def with_cores(self, num_cores: int) -> "SoCConfig":
         """Return a copy of this config with a different core count."""
@@ -186,8 +201,15 @@ def table2_config(num_cores: int = 4) -> SoCConfig:
 
 
 def soc_config_to_dict(config: SoCConfig) -> dict:
-    """JSON-able form of a :class:`SoCConfig` (campaign unit specs)."""
-    return dataclasses.asdict(config)
+    """JSON-able form of a :class:`SoCConfig` (campaign unit specs).
+
+    ``soc_sched`` is dropped: both schedulers produce bit-identical
+    results, so — like the sched backend — the choice must not perturb
+    campaign spawn seeds or result-cache digests.
+    """
+    data = dataclasses.asdict(config)
+    data.pop("soc_sched", None)
+    return data
 
 
 def soc_config_from_dict(data: dict) -> SoCConfig:
@@ -202,7 +224,8 @@ def soc_config_from_dict(data: dict) -> SoCConfig:
         num_cores=data["num_cores"],
         core=CoreConfig(**core),
         memory=MemoryConfig(**memory),
-        flexstep=FlexStepConfig(**data["flexstep"]))
+        flexstep=FlexStepConfig(**data["flexstep"]),
+        soc_sched=data.get("soc_sched", "auto"))
 
 
 def describe_table2(config: SoCConfig | None = None) -> str:

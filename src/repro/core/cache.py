@@ -10,7 +10,7 @@ no extra latency in this model (Rocket's blocking caches overlap them).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..config import CacheConfig
 

@@ -26,7 +26,14 @@ from .packets import (
 from .dbc import Channel, SystemInterconnect
 from .rcpm import MainCoreAdapter
 from .checker import CheckerEngine, SegmentResult, CheckerState
-from .soc import CoreAttr, FlexStepSoC, FlexStepControl
+from .soc import (
+    CoreAttr,
+    ENV_SOC_SCHED,
+    FlexStepControl,
+    FlexStepSoC,
+    resolve_soc_sched,
+    soc_sched_override,
+)
 from .faults import FaultInjector, FaultRecord, FaultTarget, install_injector
 
 __all__ = [
@@ -44,8 +51,11 @@ __all__ = [
     "SegmentResult",
     "CheckerState",
     "CoreAttr",
+    "ENV_SOC_SCHED",
     "FlexStepSoC",
     "FlexStepControl",
+    "resolve_soc_sched",
+    "soc_sched_override",
     "FaultInjector",
     "FaultRecord",
     "FaultTarget",

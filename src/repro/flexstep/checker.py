@@ -20,7 +20,7 @@ detection latency emerge from that interleaving.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..core.core import Core

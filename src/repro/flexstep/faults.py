@@ -19,10 +19,9 @@ from __future__ import annotations
 import dataclasses
 import enum
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from ..core.registers import ArchSnapshot
 from ..errors import FaultAccountingError
 from .checker import SegmentResult
 from .dbc import Channel
@@ -33,7 +32,6 @@ from .packets import (
     Packet,
     ProgressPacket,
     ScpPacket,
-    flip_bit_in_packet,
     flip_bits_in_packet,
 )
 

@@ -20,7 +20,7 @@ occupies — which drives capacity accounting and backpressure.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..core.registers import ArchSnapshot
 

@@ -7,6 +7,25 @@ cycle count — a conservative event ordering that keeps per-core clocks
 comparable, so backpressure and detection latency are measured on one
 timeline.
 
+Two interchangeable, bit-identical schedulers drive that arbitration:
+
+* ``loop`` — the oracle: every round rebuilds the candidate set and
+  min-scans it (O(cores) per round).
+* ``heap`` — the default: candidates live in a
+  :class:`~repro.sim.engine.EventQueue` keyed by local clock, the
+  horizon is the heap's next entry (top-2 after the pop), halted cores
+  and drained checkers leave the heap instead of being rescanned, and
+  checker drains are batched per horizon window.
+
+Selection mirrors the sched-backend convention: an explicit argument
+(``FlexStepSoC.run(sched=...)`` / ``SoCConfig.soc_sched`` /
+``python -m repro run --soc-sched``) beats the ``REPRO_SOC_SCHED``
+environment variable, which beats ``auto`` (= ``heap``).  Because the
+schedulers are proven bit-identical (``tests/flexstep/test_soc_sched``
+and the always-on gate of ``scripts/bench.py --bench soc``), the choice
+is an execution knob, never part of experiment identity: campaign
+spawn seeds and result-cache digests exclude it.
+
 :class:`FlexStepControl` is the software-visible face of the custom ISA
 (paper Table I).  The OS layer (:mod:`repro.kernel`) calls it from the
 context switch exactly as Algorithm 1 does.
@@ -15,19 +34,63 @@ context switch exactly as Algorithm 1 does.
 from __future__ import annotations
 
 import enum
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
-from ..config import SoCConfig
+from ..config import SOC_SCHED_CHOICES, SoCConfig
 from ..core.cache import Cache, MemoryHierarchy
 from ..core.core import Core
 from ..core.memory import CachedPort, MainMemory
 from ..core.registers import CSR_MTVEC
 from ..errors import ConfigurationError, ExecutionLimitExceeded
 from ..isa.program import Program
+from ..sim.engine import Event, EventQueue
 from .checker import CheckerEngine, SegmentResult
 from .dbc import SystemInterconnect
 from .rcpm import MainCoreAdapter
+
+#: Environment variable selecting the default co-sim scheduler.
+ENV_SOC_SCHED = "REPRO_SOC_SCHED"
+
+
+def resolve_soc_sched(name: Optional[str] = None) -> str:
+    """Resolve a scheduler: argument > ``REPRO_SOC_SCHED`` > auto."""
+    requested = (name or os.environ.get(ENV_SOC_SCHED, "")).strip().lower() \
+        or "auto"
+    if requested not in SOC_SCHED_CHOICES:
+        raise ConfigurationError(
+            f"unknown SoC scheduler {requested!r}; choose from "
+            f"{SOC_SCHED_CHOICES}")
+    return "heap" if requested == "auto" else requested
+
+
+@contextmanager
+def soc_sched_override(name: Optional[str]) -> Iterator[None]:
+    """Temporarily pin ``REPRO_SOC_SCHED`` (no-op for ``None``).
+
+    Works through the environment so campaign worker *processes* —
+    forked or spawned inside the context — inherit the selection,
+    mirroring :func:`repro.sched.backend.backend_override`.
+    """
+    if name is None:
+        yield
+        return
+    resolve_soc_sched(name)   # validate before fanning out
+    previous = os.environ.get(ENV_SOC_SCHED)
+    os.environ[ENV_SOC_SCHED] = name
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_SOC_SCHED, None)
+        else:
+            os.environ[ENV_SOC_SCHED] = previous
+
+
+def _noop() -> None:
+    """Placeholder callback for heap-scheduler candidate events."""
 
 
 class CoreAttr(enum.Enum):
@@ -235,25 +298,19 @@ class FlexStepSoC:
     COSIM_BATCH = 256
 
     def run(self, *, max_instructions: int = 50_000_000,
-            max_cycles: Optional[int] = None) -> SoCRunStats:
+            max_cycles: Optional[int] = None,
+            sched: Optional[str] = None) -> SoCRunStats:
         """Run until every main/compute core halts and all checkers
-        drain.  Per-core local clocks advance in min-time order; each
-        arbitration round batch-advances the min-clock core to the next
-        synchronization point (see :meth:`advance`)."""
-        executed = 0
-        active_mains = {cid for cid, attr in enumerate(self.attrs)
-                        if attr in (CoreAttr.MAIN, CoreAttr.COMPUTE)
-                        and self.cores[cid].program is not None}
-        while True:
-            progressed, stop = self.advance(
-                min(self.COSIM_BATCH, max_instructions - executed + 1),
-                active_mains, max_cycles=max_cycles)
-            executed += progressed
-            if executed > max_instructions:
-                raise ExecutionLimitExceeded(
-                    f"SoC exceeded {max_instructions} instructions")
-            if stop:
-                break
+        drain.  Per-core local clocks advance in min-time order; the
+        ``sched`` argument (then ``SoCConfig.soc_sched``, then
+        ``REPRO_SOC_SCHED``) picks the arbitration scheduler — the
+        ``loop`` oracle or the bit-identical ``heap`` default."""
+        if sched is None and self.config.soc_sched != "auto":
+            sched = self.config.soc_sched
+        if resolve_soc_sched(sched) == "heap":
+            self._run_heap(max_instructions, max_cycles)
+        else:
+            self._run_loop(max_instructions, max_cycles)
         return SoCRunStats(
             main_cycles={cid: self.cores[cid].stats.cycles
                          for cid in range(self.config.num_cores)},
@@ -264,6 +321,28 @@ class FlexStepSoC:
             segments_failed=sum(e.stats.segments_failed
                                 for e in self._engines.values()),
         )
+
+    def _run_loop(self, max_instructions: int,
+                  max_cycles: Optional[int]) -> int:
+        """The round-scan oracle: one :meth:`advance` call per round."""
+        executed = 0
+        active_mains = self._initial_active_mains()
+        while True:
+            progressed, stop = self.advance(
+                min(self.COSIM_BATCH, max_instructions - executed + 1),
+                active_mains, max_cycles=max_cycles)
+            executed += progressed
+            if executed > max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"SoC exceeded {max_instructions} instructions")
+            if stop:
+                break
+        return executed
+
+    def _initial_active_mains(self) -> set[int]:
+        return {cid for cid, attr in enumerate(self.attrs)
+                if attr in (CoreAttr.MAIN, CoreAttr.COMPUTE)
+                and self.cores[cid].program is not None}
 
     def advance(self, n: int, active_mains: set | None = None, *,
                 max_cycles: Optional[int] = None) -> tuple[int, bool]:
@@ -281,13 +360,16 @@ class FlexStepSoC:
 
         ``active_mains`` carries the not-yet-finished main/compute set
         across rounds; omit it for a standalone round.
+
+        Candidate order is canonical — main/compute cores ascending,
+        then checkers in engine-binding order — so clock ties resolve
+        identically here and in the heap scheduler (``min`` keeps the
+        first minimum it meets).
         """
         if active_mains is None:
-            active_mains = {cid for cid, attr in enumerate(self.attrs)
-                            if attr in (CoreAttr.MAIN, CoreAttr.COMPUTE)
-                            and self.cores[cid].program is not None}
+            active_mains = self._initial_active_mains()
         runnable: list[int] = []
-        for cid in list(active_mains):
+        for cid in sorted(active_mains):
             if self.cores[cid].halted:
                 adapter = self._adapters.get(cid)
                 if adapter is not None and adapter.enabled:
@@ -331,6 +413,176 @@ class FlexStepSoC:
             self.cores[c].stats.cycles >= max_cycles
             for c in candidates)
         return progressed, stop
+
+    # -- heap scheduler -------------------------------------------------
+
+    def _run_heap(self, max_instructions: int,
+                  max_cycles: Optional[int]) -> int:
+        """Event-driven arbitration on :class:`EventQueue`.
+
+        Every candidate owns one heap event keyed ``(local clock,
+        rank)`` with rank = core id for main/compute cores and
+        ``num_cores + binding index`` for checkers — exactly the
+        oracle's canonical candidate order, so clock ties pop in the
+        same sequence the loop's min-scan would select.  A pop is one
+        arbitration round: the horizon is the heap's next live entry
+        (the top-2 of the pre-pop heap, maintained incrementally), the
+        candidate batch-advances to it, and is re-pushed at its new
+        clock.  Halted mains and terminally drained checkers simply
+        leave the heap instead of being rescanned every round.
+
+        Bookkeeping the oracle performs eagerly each round happens here
+        at the equivalent sequence points, so the two schedulers are
+        bit-identical (cycle counts, segment streams, stall charges):
+
+        * post-halt adapter teardown runs at the end of the halting
+          pop — the oracle does it at the very next round's scan,
+          before anyone else advances;
+        * a halted main whose outbox is still backpressured stays a
+          candidate for exactly one more round (``zombies``), matching
+          the oracle's scan-keep-then-discard sequence;
+        * a stale event (its owner left the candidate set) pops as a
+          side-effect-free no-op; it can only shorten another
+          candidate's horizon, which splits a batch without changing
+          the committed instruction/stall sequence.
+        """
+        cores = self.cores
+        engines = self._engines
+        interconnect = self.interconnect
+        num_cores = self.config.num_cores
+        batch = self.COSIM_BATCH
+        queue = EventQueue()
+        events: dict[int, Event] = {}
+        active = self._initial_active_mains()
+        checker_of_rank: dict[int, int] = {}
+
+        def _push(cid: int, rank: int) -> None:
+            events[cid] = queue.push(cores[cid].stats.cycles, _noop,
+                                     priority=rank)
+
+        def _drop_event(cid: int) -> None:
+            event = events.pop(cid, None)
+            if event is not None:
+                event.cancel()
+
+        def _discard_main(cid: int) -> None:
+            """Oracle's ``active_mains.discard``: the main is done; its
+            drained checkers (if nothing is stuck in the outbox) have
+            nothing left to wait for and leave the heap too."""
+            active.discard(cid)
+            _drop_event(cid)
+            if not self._adapter_blocked(cid):
+                for chk in interconnect.checkers_of(cid):
+                    engine = engines.get(chk)
+                    if engine is not None and engine.busy \
+                            and engine.drained:
+                        _drop_event(chk)
+
+        def _retire_halted(cid: int) -> bool:
+            """Post-halt teardown (the oracle's round-start scan).
+
+            Returns True when the main stays a candidate for one more
+            round because its outbox is still backpressured."""
+            adapter = self._adapters.get(cid)
+            if adapter is not None and adapter.enabled:
+                adapter.disable()
+                adapter.try_flush()
+                if adapter.blocked:
+                    return True
+            _discard_main(cid)
+            return False
+
+        executed = 0
+        zombies: list[int] = []
+        for index, (cid, engine) in enumerate(engines.items()):
+            if engine.busy:
+                rank = num_cores + index
+                checker_of_rank[rank] = cid
+                _push(cid, rank)
+        # Seed main/compute cores through the oracle's first-round scan:
+        # already-halted cores (a rerun) retire before anyone advances.
+        for cid in sorted(active):
+            if cores[cid].halted:
+                if _retire_halted(cid):
+                    _push(cid, cid)
+                    zombies.append(cid)
+            else:
+                _push(cid, cid)
+
+        queue_pop = queue.pop
+        peek_time = queue.peek_time
+        events_pop = events.pop
+        advance_main = self._advance_main
+        while True:
+            event = queue_pop()
+            if event is None:
+                break
+            if zombies:
+                # one round has passed since these mains halted with a
+                # backpressured outbox; the oracle discards them now
+                for cid in zombies:
+                    if cid in active:
+                        _discard_main(cid)
+                zombies = []
+            rank = event.priority
+            if rank < num_cores:
+                cid = rank
+                events_pop(cid, None)
+                if cid not in active:
+                    continue
+                core = cores[cid]
+                if core.halted:
+                    # seeded pre-halted (e.g. a rerun): scan-equivalent
+                    if _retire_halted(cid):
+                        _push(cid, cid)
+                        zombies.append(cid)
+                    continue
+                horizon = peek_time()
+                if max_cycles is not None:
+                    horizon = max_cycles if horizon is None \
+                        else min(horizon, max_cycles)
+                budget = min(batch, max_instructions - executed + 1)
+                executed += advance_main(cid, horizon, budget)
+                if executed > max_instructions:
+                    raise ExecutionLimitExceeded(
+                        f"SoC exceeded {max_instructions} instructions")
+                if max_cycles is not None \
+                        and core.stats.cycles >= max_cycles:
+                    next_time = peek_time()
+                    if next_time is None or next_time >= max_cycles:
+                        # the oracle stops before the post-halt scan
+                        break
+                if core.halted:
+                    if _retire_halted(cid):
+                        _push(cid, cid)
+                        zombies.append(cid)
+                else:
+                    _push(cid, cid)
+            else:
+                cid = checker_of_rank[rank]
+                events_pop(cid, None)
+                engine = engines[cid]
+                if not engine.busy:
+                    continue
+                main_id = interconnect.main_of(cid)
+                main_done = main_id is None or (
+                    main_id not in active
+                    and not self._adapter_blocked(main_id))
+                if engine.drained and main_done:
+                    continue
+                horizon = peek_time()
+                if max_cycles is not None:
+                    horizon = max_cycles if horizon is None \
+                        else min(horizon, max_cycles)
+                engine.advance(horizon, batch)
+                if max_cycles is not None \
+                        and engine.core.stats.cycles >= max_cycles:
+                    next_time = peek_time()
+                    if next_time is None or next_time >= max_cycles:
+                        break
+                if not (engine.drained and main_done):
+                    _push(cid, rank)
+        return executed
 
     def _adapter_blocked(self, main_id: int) -> bool:
         adapter = self._adapters.get(main_id)

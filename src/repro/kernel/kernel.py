@@ -28,7 +28,7 @@ the checker thread is switched out, segments simply buffer in the DBC
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..core.registers import CSR_MTVEC

@@ -29,7 +29,6 @@ from datetime import datetime, timezone
 from typing import Sequence
 
 from ..campaign import default_workers
-from ..campaign.bench import strict_enabled
 from .catalog import CATALOG, get_scenario
 from .runner import run_scenario
 

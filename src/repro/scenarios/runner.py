@@ -28,6 +28,7 @@ from ..analysis.slowdown import _fig4_unit, _fig6_unit, _suite_specs
 from ..campaign import CampaignStats, run_campaign, run_grouped_campaign
 from ..config import SoCConfig
 from ..flexstep.faults import FaultTarget
+from ..flexstep.soc import soc_sched_override
 from ..sched.backend import backend_override
 from ..sched.experiments import (
     _aggregate_batch_points,
@@ -198,19 +199,22 @@ def run_scenario(scenario: Scenario, *,
                  workers: Optional[int] = None,
                  cache: object = "auto",
                  seed: Optional[int] = None,
-                 backend: Optional[str] = None) -> ScenarioResult:
+                 backend: Optional[str] = None,
+                 soc_sched: Optional[str] = None) -> ScenarioResult:
     """Run one scenario end-to-end through the campaign engine.
 
     ``seed`` overrides the scenario's built-in seed (the catalog tables
     are all produced with the built-in one).  ``workers``/``cache``
     follow the campaign defaults (``REPRO_WORKERS``,
-    ``REPRO_CACHE_DIR``) and ``backend`` pins the schedulability
-    backend for sched scenarios (default ``REPRO_SCHED_BACKEND`` /
-    auto); results are independent of all three — backend choice is an
-    execution knob, never part of scenario identity.
+    ``REPRO_CACHE_DIR``); ``backend`` pins the schedulability backend
+    for sched scenarios (default ``REPRO_SCHED_BACKEND`` / auto) and
+    ``soc_sched`` the co-simulation scheduler for co-sim scenarios
+    (default ``REPRO_SOC_SCHED`` / heap).  Results are independent of
+    all four — backend and scheduler are execution knobs, never part
+    of scenario identity.
     """
     run_seed = scenario.seed if seed is None else seed
-    with backend_override(backend):
+    with backend_override(backend), soc_sched_override(soc_sched):
         payload, stats = _RUNNERS[scenario.kind](
             scenario, run_seed, workers, cache)
     return ScenarioResult(scenario=scenario, seed=run_seed,

@@ -16,6 +16,12 @@ worker count and replay from cache without recomputation.
 The schema is JSON-round-trippable (:meth:`Scenario.to_dict` /
 :meth:`Scenario.from_dict`) so saved reports embed the exact scenario
 that produced them.
+
+Execution knobs are deliberately *not* part of the schema: worker
+count, cache location, the schedulability backend and the co-sim
+scheduler (``REPRO_SOC_SCHED`` / ``run_scenario(soc_sched=...)``) all
+leave results bit-identical, so they live outside scenario identity —
+a report produced with any of them pins the same tables.
 """
 
 from __future__ import annotations

@@ -31,7 +31,7 @@ import time
 from datetime import datetime, timezone
 from typing import Sequence
 
-from ..campaign.bench import curves_fingerprint, strict_enabled
+from ..campaign.bench import curves_fingerprint
 from .backend import numpy_available
 from .experiments import DEFAULT_UTILIZATIONS, FIG5_CONFIGS, fig5_campaign
 

@@ -30,7 +30,7 @@ only to the non-preemptable verification chunks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..errors import PartitioningError

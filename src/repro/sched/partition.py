@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ..errors import PartitioningError
-from .model import RTTask, TaskClass, TaskSet
+from .model import TaskClass, TaskSet
 from .result import Assignment, PartitionResult, Role
 
 _MODES = ("auto", "strict", "relaxed")

@@ -29,7 +29,7 @@ class SimulationError(ReproError):
     """Raised on misuse of the simulation engine."""
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -43,45 +43,90 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     name: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Owning queue while the event is buried in its heap; the queue
+    #: clears it on pop so late cancels don't corrupt the live count.
+    _queue: Optional["EventQueue"] = field(
+        default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancel()
 
 
 class EventQueue:
-    """A priority queue of :class:`Event` with lazy cancellation."""
+    """A priority queue of :class:`Event` with lazy cancellation.
+
+    Internally the heap holds ``(time, priority, seq, event)`` tuples,
+    so sift comparisons run on plain tuples at C speed instead of
+    calling the dataclass ``__lt__`` — the SoC co-simulation's heap
+    scheduler pushes and pops one event per arbitration round.
+
+    ``len()``/``bool()`` are O(1): the queue keeps a live-event counter
+    maintained at push/pop/cancel time.  Cancelled events stay buried
+    in the heap until popped past, or until they outnumber live ones —
+    then the heap is compacted in one pass.
+    """
+
+    #: Compact when cancelled events exceed this many *and* the live
+    #: share of the heap drops below half.
+    COMPACT_MIN_DEAD = 16
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
+        self._live = 0
 
     def push(self, time: float, callback: Callable[[], None], *,
              priority: int = 0, name: str = "") -> Event:
-        event = Event(time=time, priority=priority, seq=next(self._seq),
+        seq = next(self._seq)
+        event = Event(time=time, priority=priority, seq=seq,
                       callback=callback, name=name)
-        heapq.heappush(self._heap, event)
+        event._queue = self
+        heapq.heappush(self._heap, (time, priority, seq, event))
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Pop the next non-cancelled event, or None if empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[3]
+            event._queue = None
             if not event.cancelled:
+                self._live -= 1
                 return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)[3]._queue = None
+        return heap[0][0] if heap else None
+
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        dead = len(self._heap) - self._live
+        if dead > self.COMPACT_MIN_DEAD and dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop buried cancelled events and re-heapify in one pass."""
+        for entry in self._heap:
+            if entry[3].cancelled:
+                entry[3]._queue = None
+        self._heap = [entry for entry in self._heap
+                      if not entry[3].cancelled]
+        heapq.heapify(self._heap)
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return len(self) > 0
+        return self._live > 0
 
 
 class Simulator:

@@ -8,8 +8,8 @@ ASCII schedule, reproducing the timelines of paper Fig. 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,6 @@ import pytest
 
 from repro.config import CoreConfig
 from repro.core import Core, DirectPort, MainMemory, CSR_MTVEC
-from repro.isa import assemble
 from repro.isa.instructions import OPS, OpKind
 from repro.isa.program import DataSegment, Program
 from repro.isa.instructions import Instruction

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import SoCConfig
-from repro.errors import ConfigurationError, VerificationMismatch
+from repro.errors import ConfigurationError
 from repro.flexstep import CheckerState, CoreAttr, FlexStepSoC
 from repro.isa import assemble
 

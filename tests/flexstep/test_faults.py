@@ -11,7 +11,6 @@ import random
 import pytest
 
 from repro.flexstep import FaultInjector, FaultTarget
-from repro.flexstep.checker import SegmentResult
 
 from ..conftest import make_sum_program, make_verified_soc
 

@@ -10,11 +10,8 @@ These are the load-bearing invariants of the whole scheme: FlexStep is
 only usable if the checker never cries wolf on clean executions.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.config import SoCConfig
-from repro.flexstep import FlexStepSoC
 from repro.isa import assemble
 
 from ..conftest import make_verified_soc

@@ -5,8 +5,6 @@ cuts at the instruction-count limit, at privilege switches ("premature
 extermination"), and at check-disable.
 """
 
-import pytest
-
 from repro.config import SoCConfig
 from repro.flexstep import FlexStepSoC
 from repro.flexstep.packets import (

@@ -56,6 +56,70 @@ class TestEventQueue:
         e.cancel()
         assert q.peek_time() == 5.0
 
+    def test_priority_then_seq_tie_break(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("p1-first"), priority=1)
+        q.push(1.0, lambda: order.append("p0-first"), priority=0)
+        q.push(1.0, lambda: order.append("p0-second"), priority=0)
+        q.push(1.0, lambda: order.append("p1-second"), priority=1)
+        while (e := q.pop()) is not None:
+            e.callback()
+        assert order == ["p0-first", "p0-second",
+                         "p1-first", "p1-second"]
+
+    def test_cancel_before_pop_skips_event(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None, name="first")
+        q.push(2.0, lambda: None, name="second")
+        first.cancel()
+        popped = q.pop()
+        assert popped is not None and popped.name == "second"
+        assert q.pop() is None
+
+    def test_cancel_after_pop_is_inert(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.pop() is event
+        event.cancel()             # already delivered: must not corrupt
+        assert len(q) == 1         # the remaining event is still live
+        assert q.pop() is not None
+        assert q.pop() is None
+
+    def test_double_cancel_counts_once(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(q) == 1
+        assert bool(q)
+
+    def test_len_is_live_counter_not_scan(self):
+        q = EventQueue()
+        events = [q.push(float(t), lambda: None) for t in range(50)]
+        assert len(q) == 50
+        for event in events[10:40]:
+            event.cancel()
+        assert len(q) == 20
+        # compaction may have dropped buried events; order survives
+        times = []
+        while (e := q.pop()) is not None:
+            times.append(e.time)
+        assert times == [float(t) for t in (*range(10), *range(40, 50))]
+        assert len(q) == 0 and not q
+
+    def test_mass_cancel_compacts_heap(self):
+        q = EventQueue()
+        events = [q.push(float(t), lambda: None) for t in range(100)]
+        for event in events[1:]:
+            event.cancel()
+        # lazy compaction bounds the buried-dead share of the heap
+        assert len(q._heap) < 100
+        assert len(q) == 1
+        assert q.peek_time() == 0.0
+
 
 class TestSimulator:
     def test_clock_advances(self):
@@ -108,6 +172,63 @@ class TestSimulator:
             sim.run()
             return log
         assert build() == build()
+
+    def test_until_equal_to_event_time_fires_it(self):
+        sim = Simulator()
+        fired = []
+        sim.at(5.0, lambda: fired.append(1))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_until_before_everything_only_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.at(10.0, lambda: fired.append(1))
+        assert sim.run(until=3.0) == 3.0
+        assert not fired
+        # the event is still queued and fires on a later run
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events_zero_is_a_no_op(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1.0, lambda: fired.append(1))
+        sim.run(max_events=0)
+        assert not fired and sim.events_processed == 0
+        assert sim.now == 0.0
+
+    def test_max_events_counts_only_fired(self):
+        sim = Simulator()
+        cancelled = sim.at(1.0, lambda: None)
+        sim.at(2.0, lambda: None)
+        sim.at(3.0, lambda: None)
+        cancelled.cancel()
+        sim.run(max_events=2)
+        assert sim.events_processed == 2
+        assert sim.queue.peek_time() is None
+
+    def test_run_inside_callback_rejected(self):
+        sim = Simulator()
+        caught = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                caught.append(str(exc))
+
+        sim.at(1.0, reenter)
+        sim.run()
+        assert caught and "already running" in caught[0]
+
+    def test_run_usable_again_after_reentrancy_error(self):
+        sim = Simulator()
+        sim.at(1.0, lambda: None)
+        sim.run()
+        sim.at(2.0, lambda: None)
+        assert sim.run() == 2.0
 
 
 class TestProcess:

@@ -1,7 +1,5 @@
 """Statistics helper tests (with property-based coverage)."""
 
-import math
-
 import pytest
 from hypothesis import given, strategies as st
 
