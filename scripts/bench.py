@@ -57,12 +57,27 @@ def _run_engine(args: argparse.Namespace) -> int:
         return 0
     path = perfbench.append_record(record, args.output, bench="engine")
     print(f"\nappended record to {path}")
+    status = 0
     threshold = perfbench.min_speedup_threshold(5.0)
     if record["speedup_geomean"] < threshold:
         print(f"WARNING: geomean speedup {record['speedup_geomean']}x "
               f"below the {threshold}x target", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    compiled_geomean = record.get("compiled_over_decoded_geomean")
+    if compiled_geomean is not None:
+        compiled_threshold = perfbench.min_compiled_speedup_threshold()
+        if compiled_geomean < compiled_threshold:
+            if campaign_bench.strict_enabled():
+                print(f"ERROR: compiled-tier speedup {compiled_geomean}x "
+                      f"over decoded below the {compiled_threshold}x "
+                      "target (REPRO_BENCH_STRICT set)", file=sys.stderr)
+                status = 1
+            else:
+                print(f"note: compiled-tier speedup {compiled_geomean}x "
+                      f"over decoded below the {compiled_threshold}x "
+                      "target on this host; set REPRO_BENCH_STRICT=1 "
+                      "to make this fatal", file=sys.stderr)
+    return status
 
 
 def _run_campaign(args: argparse.Namespace) -> int:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .config import SOC_SCHED_CHOICES
+from .config import CORE_ENGINE_CHOICES, SOC_SCHED_CHOICES
 from .sched.backend import BACKEND_CHOICES
 from .scenarios import (
     CATALOG,
@@ -68,7 +68,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result = run_scenario(scenario, workers=args.workers,
                               cache=cache, seed=args.seed,
                               backend=args.backend,
-                              soc_sched=args.soc_sched)
+                              soc_sched=args.soc_sched,
+                              engine=args.engine)
         print(result.render())
         if not args.dry_run:
             path = result.save(args.report_dir)
@@ -130,6 +131,12 @@ def main(argv: "list[str] | None" = None) -> int:
                           "(default REPRO_SOC_SCHED or auto = heap; "
                           "'loop' is the round-scan oracle; results "
                           "are scheduler-invariant)")
+    run.add_argument("--engine", default=None,
+                     choices=CORE_ENGINE_CHOICES,
+                     help="core execution engine tier "
+                          "(default REPRO_CORE_ENGINE or auto = decoded; "
+                          "'compiled' traces hot blocks into generated "
+                          "Python; results are engine-invariant)")
     run.add_argument("--seed", type=int, default=None,
                      help="override the scenario's built-in seed")
     run.add_argument("--no-cache", action="store_true",

@@ -31,6 +31,16 @@ DEFAULT_SEGMENT_LIMIT: int = 5000
 #: :func:`soc_config_to_dict`.
 SOC_SCHED_CHOICES: tuple[str, ...] = ("auto", "loop", "heap")
 
+#: Execution-engine tiers accepted by :class:`CoreConfig` and the
+#: ``REPRO_CORE_ENGINE`` environment variable (``auto`` defers to the
+#: env var, then ``decoded``).  ``interp`` is the seed reference
+#: interpreter, ``decoded`` the kernel-dispatch engine and ``compiled``
+#: the code-generating trace tier (:mod:`repro.core.compile`).  All
+#: three are bit-identical, so — like ``soc_sched`` — the knob is
+#: excluded from campaign identity; see :func:`soc_config_to_dict`.
+CORE_ENGINE_CHOICES: tuple[str, ...] = (
+    "auto", "interp", "decoded", "compiled")
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -92,10 +102,18 @@ class CoreConfig:
     #: Extra cycles for integer multiply / divide on the single DIV unit.
     mul_latency_cycles: int = 3
     div_latency_cycles: int = 16
+    #: Execution engine: ``auto`` defers to ``REPRO_CORE_ENGINE`` (then
+    #: ``decoded``); ``interp``/``decoded``/``compiled`` pin a tier.  An
+    #: execution knob — never part of experiment identity.
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.clock_hz <= 0:
             raise ConfigurationError("clock_hz must be positive")
+        if self.engine not in CORE_ENGINE_CHOICES:
+            raise ConfigurationError(
+                f"engine must be one of {CORE_ENGINE_CHOICES}, "
+                f"got {self.engine!r}")
 
     @property
     def cycle_time_s(self) -> float:
@@ -203,12 +221,14 @@ def table2_config(num_cores: int = 4) -> SoCConfig:
 def soc_config_to_dict(config: SoCConfig) -> dict:
     """JSON-able form of a :class:`SoCConfig` (campaign unit specs).
 
-    ``soc_sched`` is dropped: both schedulers produce bit-identical
-    results, so — like the sched backend — the choice must not perturb
-    campaign spawn seeds or result-cache digests.
+    ``soc_sched`` and the core ``engine`` are dropped: schedulers and
+    execution engines produce bit-identical results, so — like the
+    sched backend — neither choice may perturb campaign spawn seeds or
+    result-cache digests.
     """
     data = dataclasses.asdict(config)
     data.pop("soc_sched", None)
+    data["core"].pop("engine", None)
     return data
 
 

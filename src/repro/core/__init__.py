@@ -20,7 +20,15 @@ from .registers import (
 from .cache import Cache, MemoryHierarchy
 from .memory import MainMemory, MemoryPort, DirectPort, CachedPort
 from .branch import BranchPredictor
-from .core import Core, CommitRecord, CoreStats, MemEntry
+from .compile import CompiledProgram, compiled_table
+from .core import (
+    CommitRecord,
+    Core,
+    CoreStats,
+    MemEntry,
+    engine_override,
+    resolve_engine,
+)
 from .decode import DecodedProgram, decode_program
 
 __all__ = [
@@ -45,6 +53,10 @@ __all__ = [
     "CommitRecord",
     "CoreStats",
     "MemEntry",
+    "CompiledProgram",
+    "compiled_table",
+    "engine_override",
+    "resolve_engine",
     "DecodedProgram",
     "decode_program",
 ]

@@ -1,0 +1,1057 @@
+"""Compiled execution tier: trace superinstructions via source codegen.
+
+The decoded engine (:mod:`repro.core.decode`) already fuses straight-line
+runs into block kernels, but still pays one Python closure call per
+instruction plus one dispatch-loop iteration per block.  This module
+removes both: for each hot *entry point* of a program it emits the
+source of one specialized Python function — a **trace** — and
+``exec``-compiles it.  Register indices, immediates, masks, branch-table
+indices and timing constants are inlined as literals; intermediate
+values live in Python locals instead of round-tripping through the
+register list; per-trace cycle costs are pre-summed for the no-trap
+path.  A trace chains through the program far beyond one basic block:
+
+* straight-line runs (the ``_SEQUENTIAL_KINDS`` of ``decode.py``) are
+  emitted inline, registers cached in locals,
+* conditional branches inline the BHT update (2-bit counters, literal
+  index) and, when the branch skips a short straight-line *gap*, both
+  arms are emitted as a Python ``if``/``else`` diamond and the trace
+  continues at the join,
+* forward ``jal`` falls through into its target,
+* everything else (``jalr``, ``ecall``, ``mret``, ``halt``, backward
+  jumps) executes its decoded kernel and exits the trace; CSR
+  instructions end a trace *before* them (they observe ``instret``,
+  which the dispatch loop settles only between calls).
+
+Guarded bail-outs keep the engine bit-identical to the reference, at
+zero cost on the no-trap path: each trace body runs under ONE
+function-level ``try``/``except BaseException`` whose handler
+(:func:`_mbail`) maps the traceback's line number through a per-trace
+site table to the raising instruction.  The site entry tells it which
+register locals were dirty there and what the committed prefix's
+counters are; it flushes exactly those locals back to the register
+file, restores the faulting pc, and publishes ``core._block_scratch``
+exactly like a decoded block kernel — the faulting instruction stays
+uncommitted, whether it raised a memory fault, a privilege trap or a
+replay mismatch in a terminal kernel.
+
+Memory accesses are specialized at run time: when the core's port is a
+plain :class:`~repro.core.memory.DirectPort` over
+:class:`~repro.core.memory.MainMemory` the trace performs the aligned
+in-range access as a direct dict operation (latencies folded into one
+per-exit multiply); any other port — or a faulting address — takes the
+generic port call, so cached and replayed configurations stay exact.
+
+Traces are compiled lazily in two ways.  Each entry starts as a
+counting thunk that runs the decoded block kernel and materializes
+(plans + ``exec``-compiles) the trace after ``warmup`` dispatches, so
+cold code (preambles, error stubs) never pays codegen.  Materializing a
+trace then installs zero-cost *activation stubs* on its continuation
+targets (chained successors and side exits): a stub materializes its
+own trace on first dispatch, with no warmup delay — a hot chain
+compiles link by link as control actually reaches it, while dead side
+exits never pay anything.  Compiled tables are cached on
+``program.decode_cache`` next to the decoded tables, keyed by the same
+timing parameters plus the predictor geometry the traces inline.
+
+Generated sources carry stable names — function ``_trace_<slot>`` in
+pseudo-file ``<repro-compiled:<program>:<pc>>`` — and are registered
+with :mod:`linecache` so tracebacks through generated code resolve.
+"""
+
+from __future__ import annotations
+
+import linecache
+import os
+import sys
+
+from ..config import CoreConfig
+from ..isa.instructions import INST_BYTES, MASK64, OpKind
+from ..isa.program import Program
+from .decode import _SEQUENTIAL_KINDS, DecodedProgram, decode_program
+from .memory import DirectPort, MainMemory
+
+_SIGN = 1 << 63
+_WRAP = 1 << 64
+_M = f"0x{MASK64:x}"
+
+#: Maximum instructions emitted along one trace's full path.  Longer
+#: straight-line regions split into chained traces (the successor pc is
+#: itself a hot entry and compiles too).
+TRACE_CAP = 1024
+
+#: Maximum length of a branch-skip gap inlined as an if/else diamond.
+MAX_GAP = 8
+
+#: Dispatches of an entry before its trace is compiled (cold entries —
+#: preambles, error stubs — never pay the ``compile()`` cost).
+DEFAULT_WARMUP = 2
+
+#: Safe upper bound on instructions one trace may commit, used for
+#: ``trace_lens`` before a lazily-activated entry is materialized: the
+#: emission loop stops growing past TRACE_CAP, and a single diamond can
+#: overrun the cap check by at most its gap.
+_LEN_BOUND = TRACE_CAP + MAX_GAP
+
+_WARMUP_ENV = "REPRO_CORE_COMPILE_WARMUP"
+
+
+def default_warmup() -> int:
+    """Trace-compile warmup threshold (``REPRO_CORE_COMPILE_WARMUP``)."""
+    raw = os.environ.get(_WARMUP_ENV, "").strip()
+    return int(raw) if raw else DEFAULT_WARMUP
+
+
+def _mbail(core, sites: dict) -> None:
+    """Exception-path epilogue of a trace (cold, shared by all sites).
+
+    Each trace has ONE function-level ``except`` clause that calls this
+    with its per-line site table; the line number where the exception
+    crossed the trace frame selects the site.  A site tuple
+    ``(pc, count, static_cyc, nmem, branches, flush_mem, regs)``
+    carries the emission-time counters of the *committed* prefix, and
+    the runtime compensation locals (``cyc``/``skipped``/``memskip``/
+    ``scmops``/``_lat``) are read out of the trace frame.  The effect
+    mirrors the decoded block-kernel contract exactly: dirty locals of
+    committed members are flushed, deferred predictor/memory-op
+    counters settled, pc restored to the faulting instruction, and
+    ``core._block_scratch`` set so :meth:`Core.advance` can settle
+    stats — the faulting instruction stays uncommitted.  Lines not in
+    the table (asynchronous exceptions between members) re-raise with
+    nothing settled, like a decoded kernel would.
+    """
+    tb = sys.exc_info()[2]
+    site = sites.get(tb.tb_lineno)
+    if site is None:
+        return
+    pc, count, static_cyc, nmem, branches, flush_mem, regs = site
+    loc = tb.tb_frame.f_locals
+    if regs:
+        r = core.regs._regs
+        for n in regs:
+            r[n] = loc["r%d" % n]
+    skipped = loc.get("skipped", 0)
+    memskip = loc.get("memskip", 0)
+    lat = loc.get("_lat", 0)
+    if branches:
+        core.predictor.stats.predictions += branches
+    if flush_mem:
+        mem = nmem - memskip + loc.get("scmops", 0)
+        if mem:
+            core.stats.memory_ops += mem
+    core.pc = pc
+    core._block_scratch = (
+        count - skipped,
+        static_cyc + loc.get("cyc", 0) + lat * (nmem - memskip))
+
+
+class _TraceWriter:
+    """Accumulates the body of one trace function plus its accounting.
+
+    Counters track the *full path* (every not-taken arm): per-exit
+    literals are derived from them, and taken diamond arms compensate at
+    run time through the ``skipped``/``memskip`` locals.
+    """
+
+    def __init__(self, decoded: DecodedProgram, config: CoreConfig):
+        self.decoded = decoded
+        self.config = config
+        self.lines: list[str] = []
+        self.indent = 1
+        self.bound: set[int] = set()
+        self.dirty: set[int] = set()
+        #: Known inclusive upper bound per bound local (absent: MASK64).
+        #: Drives mask elision — ops whose result provably fits 64 bits
+        #: skip the ``& MASK64``; see the range rules in the emitters.
+        self.bounds: dict[int, int] = {}
+        self.count = 0        # instructions along the full path
+        self.static_cyc = 0   # statically-known cycles along the path
+        self.nmem = 0         # fixed-count memory ops (SC excluded)
+        self.branches = 0     # conditional branches along the path
+        self.has_mem = False
+        self.has_sc = False
+        self.has_skip = False     # any diamond emitted so far
+        self.has_memskip = False  # any diamond with memory in its gap
+        self.has_branch = False
+        self.has_ras = False
+        #: Slots where control leaves this trace at a statically known
+        #: point (cap/CSR exits, dual-exit branch targets, post-ecall
+        #: return sites) — the chain a hot loop body runs through.
+        self.conts: list[int] = []
+        #: Bail-out site tuples for :func:`_mbail`, referenced from the
+        #: emitted source by ``# @<index>`` line markers.
+        self.sites: list[tuple] = []
+        self.g: dict = {"_DP": DirectPort, "_MM": MainMemory,
+                        "_mbail": _mbail}
+
+    # -- line helpers ---------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    # -- register locals ------------------------------------------------
+
+    def rval(self, n: int) -> str:
+        """Expression for register ``n`` (binding a local on first use)."""
+        if n == 0:
+            return "0"
+        name = f"r{n}"
+        if n not in self.bound:
+            self.emit(f"{name} = r[{n}]")
+            self.bound.add(n)
+        return name
+
+    def rset(self, n: int, expr: str, bound: int = MASK64) -> None:
+        """Assign register ``n`` (n > 0) in its local.
+
+        ``bound`` is the value's known inclusive upper bound (values
+        are always canonical, so MASK64 means "anything").
+        """
+        self.emit(f"r{n} = {expr}")
+        self.mark(n, bound)
+
+    def mark(self, n: int, bound: int = MASK64) -> None:
+        """Record that emitted code assigned register ``n``'s local."""
+        self.bound.add(n)
+        self.dirty.add(n)
+        if bound < MASK64:
+            self.bounds[n] = bound
+        else:
+            self.bounds.pop(n, None)
+
+    def bnd(self, n: int) -> int:
+        """Known upper bound of register ``n``'s current value."""
+        if n == 0:
+            return 0
+        return self.bounds.get(n, MASK64)
+
+    def flush(self) -> None:
+        """Write dirty locals back to the register file."""
+        for n in sorted(self.dirty):
+            self.emit(f"r[{n}] = r{n}")
+        self.dirty.clear()
+
+    # -- accounting expressions ----------------------------------------
+
+    def ninst_expr(self, count: int) -> str:
+        return f"{count} - skipped" if self.has_skip else str(count)
+
+    def cycles_expr(self, extra: str = "") -> str:
+        parts = [str(self.static_cyc), "cyc"]
+        if self.nmem:
+            fold = (f"({self.nmem} - memskip)" if self.has_memskip
+                    else str(self.nmem))
+            parts.append(f"_lat * {fold}")
+        expr = " + ".join(parts)
+        return f"{expr}{extra}"
+
+    def memops_expr(self) -> str | None:
+        parts = []
+        if self.nmem:
+            parts.append(f"({self.nmem} - memskip)" if self.has_memskip
+                         else str(self.nmem))
+        if self.has_sc:
+            parts.append("scmops")
+        return " + ".join(parts) if parts else None
+
+    # -- epilogues ------------------------------------------------------
+
+    def emit_flush_counters(self) -> None:
+        """Deferred predictor/memory-op counter flushes (exit path)."""
+        if self.branches:
+            self.emit(f"bstats.predictions += {self.branches}")
+        memops = self.memops_expr()
+        if memops:
+            self.emit(f"stats.memory_ops += {memops}")
+
+    def emit_exit(self, pc: int, extra_cycles: str = "") -> None:
+        """Set the architectural pc and return (committed, cycles)."""
+        self.flush()
+        self.emit_flush_counters()
+        self.emit(f"core.pc = {pc}")
+        self.emit(f"return ({self.ninst_expr(self.count)}, "
+                  f"{self.cycles_expr(extra_cycles)})")
+
+    def site_marker(self, pc: int, *, flushed: bool = False) -> str:
+        """Register a bail-out site; returns the line marker to append.
+
+        Site literals are the writer's *current* counters — exactly the
+        members emitted before this site — compensated at run time by
+        :func:`_mbail` for earlier taken diamonds.  ``flushed`` marks
+        sites whose registers and deferred counters were already
+        flushed before the raising call (terminal kernel sites).
+        """
+        regs = () if flushed else tuple(sorted(self.dirty))
+        self.sites.append((pc, self.count, self.static_cyc, self.nmem,
+                           0 if flushed else self.branches,
+                           not flushed, regs))
+        return f"  # @{len(self.sites) - 1}"
+
+
+# ----------------------------------------------------------------------
+# member emission (sequential kinds, inline on the trace spine or in a
+# diamond gap; semantics mirror the decode.py kernel builders exactly)
+# ----------------------------------------------------------------------
+
+def _emit_signed_pair(w: _TraceWriter, a: str, b: str) -> None:
+    w.emit(f"_a = {a}")
+    w.emit(f"_b = {b}")
+    w.emit(f"if _a >= {_SIGN}:")
+    w.emit(f"    _a -= {_WRAP}")
+    w.emit(f"if _b >= {_SIGN}:")
+    w.emit(f"    _b -= {_WRAP}")
+
+
+def _bits_bound(ba: int, bb: int) -> int:
+    """Upper bound of ``x | y`` / ``x ^ y`` for x <= ba, y <= bb."""
+    return (1 << max(ba, bb).bit_length()) - 1
+
+
+def _emit_alu(w: _TraceWriter, inst) -> None:
+    op = inst.op
+    rd = inst.rd
+    if inst.info.has_imm:
+        imm = inst.imm
+        ba = w.bnd(inst.rs1)
+        a = w.rval(inst.rs1)
+        if op == "addi":
+            if a == "0":
+                w.rset(rd, str(imm & MASK64), bound=imm & MASK64)
+            elif imm == 0:
+                w.rset(rd, a, bound=ba)
+            elif 0 < imm and ba + imm <= MASK64:
+                w.rset(rd, f"{a} + {imm}", bound=ba + imm)
+            else:
+                w.rset(rd, f"({a} + {imm}) & {_M}")
+        elif op == "andi":
+            w.rset(rd, f"{a} & {imm & MASK64}",
+                   bound=min(ba, imm & MASK64))
+        elif op == "ori":
+            w.rset(rd, f"{a} | {imm & MASK64}",
+                   bound=_bits_bound(ba, imm & MASK64))
+        elif op == "xori":
+            w.rset(rd, f"{a} ^ {imm & MASK64}",
+                   bound=_bits_bound(ba, imm & MASK64))
+        elif op == "slti":
+            imm_s = imm & MASK64
+            if imm_s >= _SIGN:
+                imm_s -= _WRAP
+            if ba < _SIGN and imm_s >= 0:
+                w.rset(rd, f"1 if {a} < {imm_s} else 0", bound=1)
+            else:
+                w.emit(f"_a = {a}")
+                w.emit(f"if _a >= {_SIGN}:")
+                w.emit(f"    _a -= {_WRAP}")
+                w.rset(rd, f"1 if _a < {imm_s} else 0", bound=1)
+        elif op == "slli":
+            sh = imm & 63
+            if not sh:
+                w.rset(rd, a, bound=ba)
+            elif ba << sh <= MASK64:
+                w.rset(rd, f"{a} << {sh}", bound=ba << sh)
+            else:
+                w.rset(rd, f"({a} << {sh}) & {_M}")
+        elif op == "srli":
+            sh = imm & 63
+            w.rset(rd, f"{a} >> {sh}" if sh else a, bound=ba >> sh)
+        elif op == "srai":
+            sh = imm & 63
+            if ba < _SIGN:
+                w.rset(rd, f"{a} >> {sh}" if sh else a, bound=ba >> sh)
+            else:
+                w.emit(f"_a = {a}")
+                w.emit(f"if _a >= {_SIGN}:")
+                w.emit(f"    _a -= {_WRAP}")
+                w.rset(rd, f"(_a >> {sh}) & {_M}")
+        elif op == "lui":
+            w.rset(rd, str((imm << 12) & MASK64),
+                   bound=(imm << 12) & MASK64)
+        else:  # pragma: no cover - registry guards this
+            raise AssertionError(f"unknown ALU op {op!r}")
+        return
+    ba, bb = w.bnd(inst.rs1), w.bnd(inst.rs2)
+    a = w.rval(inst.rs1)
+    b = w.rval(inst.rs2)
+    if op in ("add", "nop"):
+        if ba + bb <= MASK64:
+            w.rset(rd, f"{a} + {b}", bound=ba + bb)
+        else:
+            w.rset(rd, f"({a} + {b}) & {_M}")
+    elif op == "sub":
+        if bb == 0:
+            w.rset(rd, a, bound=ba)
+        else:
+            w.rset(rd, f"({a} - {b}) & {_M}")
+    elif op == "and":
+        w.rset(rd, f"{a} & {b}", bound=min(ba, bb))
+    elif op == "or":
+        w.rset(rd, f"{a} | {b}", bound=_bits_bound(ba, bb))
+    elif op == "xor":
+        w.rset(rd, f"{a} ^ {b}", bound=_bits_bound(ba, bb))
+    elif op == "slt":
+        if ba < _SIGN and bb < _SIGN:
+            w.rset(rd, f"1 if {a} < {b} else 0", bound=1)
+        else:
+            _emit_signed_pair(w, a, b)
+            w.rset(rd, "1 if _a < _b else 0", bound=1)
+    elif op == "sltu":
+        w.rset(rd, f"1 if {a} < {b} else 0", bound=1)
+    elif op == "sll":
+        w.rset(rd, f"({a} << ({b} & 63)) & {_M}")
+    elif op == "srl":
+        w.rset(rd, f"{a} >> ({b} & 63)", bound=ba)
+    elif op == "sra":
+        if ba < _SIGN:
+            w.rset(rd, f"{a} >> ({b} & 63)", bound=ba)
+        else:
+            w.emit(f"_a = {a}")
+            w.emit(f"if _a >= {_SIGN}:")
+            w.emit(f"    _a -= {_WRAP}")
+            w.rset(rd, f"(_a >> ({b} & 63)) & {_M}")
+    else:  # pragma: no cover - registry guards this
+        raise AssertionError(f"unknown ALU op {op!r}")
+
+
+def _emit_div(w: _TraceWriter, inst) -> None:
+    is_div = inst.op == "div"
+    rd = inst.rd
+    _emit_signed_pair(w, w.rval(inst.rs1), w.rval(inst.rs2))
+    w.emit("if _b == 0:")
+    w.emit(f"    r{rd} = {MASK64}" if is_div
+           else f"    r{rd} = _a & {_M}")
+    w.emit("else:")
+    w.emit("    _q = abs(_a) // abs(_b)")
+    w.emit("    if (_a < 0) != (_b < 0):")
+    w.emit("        _q = -_q")
+    w.emit(f"    r{rd} = {'_q' if is_div else '_a - _q * _b'} & {_M}")
+    w.mark(rd)
+
+
+def _addr_expr(w: _TraceWriter, rs1: int, imm: int) -> None:
+    a = w.rval(rs1)
+    if a == "0":
+        w.emit(f"_addr = {imm & MASK64}")
+    elif imm == 0:
+        w.emit(f"_addr = {a}")
+    elif 0 < imm and w.bnd(rs1) + imm <= MASK64:
+        w.emit(f"_addr = {a} + {imm}")
+    else:
+        w.emit(f"_addr = ({a} + {imm}) & {_M}")
+
+
+# ``_size`` is 0 when the port isn't the direct fast path, so the
+# in-range test doubles as the fast-path test (addresses are >= 0).
+_FAST_CHECK = "if not (_addr & 7) and _addr < _size:"
+
+
+def _emit_slow_mem(w: _TraceWriter, pc: int, stmts: list[str],
+                   cyc_line: str) -> None:
+    """The generic-port arm of a memory access.
+
+    Port calls can raise; the line marker ties them to their bail-out
+    site for the trace's shared ``except`` clause.
+    """
+    marker = w.site_marker(pc)
+    w.emit("else:")
+    for stmt in stmts:
+        w.emit(f"    {stmt}{marker}")
+    w.emit(f"    {cyc_line}")
+
+
+def _emit_load(w: _TraceWriter, inst, pc: int) -> None:
+    # The destination local is assigned directly in both arms (no _v
+    # round-trip); a raise in the slow arm leaves it untouched, so the
+    # site's dirty set (captured before ``mark``) stays correct.
+    w.has_mem = True
+    _addr_expr(w, inst.rs1, inst.imm)
+    dst = f"r{inst.rd}" if inst.rd else "_v"
+    w.emit(_FAST_CHECK)
+    w.emit(f"    {dst} = mget(_addr, 0)")
+    _emit_slow_mem(w, pc, [f"{dst}, _c = port.read(_addr)"],
+                   "cyc += _c - _lat")
+    w.count += 1
+    w.nmem += 1
+    if inst.rd:
+        w.mark(inst.rd)
+
+
+def _emit_store(w: _TraceWriter, inst, pc: int) -> None:
+    w.has_mem = True
+    v = w.rval(inst.rs2)
+    _addr_expr(w, inst.rs1, inst.imm)
+    w.emit(_FAST_CHECK)
+    w.emit(f"    _words[_addr] = {v}")
+    _emit_slow_mem(w, pc, [f"_c = port.write(_addr, {v})"],
+                   "cyc += _c - _lat")
+    w.count += 1
+    w.nmem += 1
+
+
+def _emit_lr(w: _TraceWriter, inst, pc: int) -> None:
+    w.has_mem = True
+    w.emit(f"_addr = {w.rval(inst.rs1)}")
+    dst = f"r{inst.rd}" if inst.rd else "_v"
+    w.emit(_FAST_CHECK)
+    w.emit(f"    {dst} = mget(_addr, 0)")
+    _emit_slow_mem(w, pc, [f"{dst}, _c = port.read(_addr)"],
+                   "cyc += _c - _lat")
+    w.count += 1
+    w.nmem += 1
+    w.emit("core._reservation = _addr")
+    if inst.rd:
+        w.mark(inst.rd)
+
+
+def _emit_sc(w: _TraceWriter, inst, pc: int) -> None:
+    # Entirely dynamic: a successful SC costs the port latency and one
+    # memory op (via the scmops local), a failed one a single cycle.
+    w.has_mem = True
+    w.has_sc = True
+    rd = inst.rd
+    v = w.rval(inst.rs2)
+    w.emit(f"_addr = {w.rval(inst.rs1)}")
+    w.emit("if core._reservation == _addr:")
+    w.indent += 1
+    w.emit(_FAST_CHECK)
+    w.emit(f"    _words[_addr] = {v}")
+    w.emit("    cyc += _lat")
+    _emit_slow_mem(w, pc, [f"_c = port.write(_addr, {v})"],
+                   "cyc += _c")
+    w.emit("scmops += 1")
+    if rd:
+        w.emit(f"r{rd} = 0")
+    w.indent -= 1
+    w.emit("else:")
+    w.indent += 1
+    if rd:
+        w.emit(f"r{rd} = 1")
+    w.emit("cyc += 1")
+    w.indent -= 1
+    w.emit("core._reservation = None")
+    if rd:
+        w.mark(rd, bound=1)
+    w.count += 1
+
+
+_AMO_EXPRS = {
+    "amoadd": "({old} + {v}) & {m}",
+    "amoswap": "{v}",
+    "amoand": "{old} & {v}",
+    "amoor": "{old} | {v}",
+    "amoxor": "{old} ^ {v}",
+}
+
+
+def _amo_new_stmts(op: str, v: str) -> list[str]:
+    expr = _AMO_EXPRS.get(op)
+    if expr is not None:
+        return ["_new = " + expr.format(old="_old", v=v, m=_M)]
+    # amomax / amomin: signed compare picking one masked operand.
+    pick = ">=" if op == "amomax" else "<="
+    return [
+        "_a = _old",
+        f"if _a >= {_SIGN}:",
+        f"    _a -= {_WRAP}",
+        f"_b = {v}",
+        f"if _b >= {_SIGN}:",
+        f"    _b -= {_WRAP}",
+        f"_new = _old if _a {pick} _b else {v}",
+    ]
+
+
+def _emit_amo(w: _TraceWriter, inst, pc: int) -> None:
+    w.has_mem = True
+    v = w.rval(inst.rs2)
+    new_stmts = _amo_new_stmts(inst.op, v)
+    w.emit(f"_addr = {w.rval(inst.rs1)}")
+    w.emit(_FAST_CHECK)
+    w.emit("    _old = mget(_addr, 0)")
+    for stmt in new_stmts:
+        w.emit(f"    {stmt}")
+    w.emit("    _words[_addr] = _new")
+    _emit_slow_mem(
+        w, pc,
+        ["_old, _c = port.read(_addr)", *new_stmts,
+         "_wc = port.write(_addr, _new)"],
+        "cyc += _c + _wc - 2 * _lat")
+    w.count += 1
+    w.nmem += 2
+    if inst.rd:
+        w.rset(inst.rd, "_old")
+
+
+def _emit_member(w: _TraceWriter, inst, pc: int,
+                 config: CoreConfig) -> None:
+    """Emit one sequential-kind instruction inline."""
+    kind = inst.info.kind
+    if kind is OpKind.ALU:
+        w.count += 1
+        w.static_cyc += 1
+        if inst.rd:
+            _emit_alu(w, inst)
+    elif kind is OpKind.MUL:
+        w.count += 1
+        w.static_cyc += config.mul_latency_cycles
+        if inst.rd:
+            ba, bb = w.bnd(inst.rs1), w.bnd(inst.rs2)
+            a, b = w.rval(inst.rs1), w.rval(inst.rs2)
+            if ba * bb <= MASK64:
+                w.rset(inst.rd, f"{a} * {b}", bound=ba * bb)
+            else:
+                w.rset(inst.rd, f"({a} * {b}) & {_M}")
+    elif kind is OpKind.DIV:
+        w.count += 1
+        w.static_cyc += config.div_latency_cycles
+        if inst.rd:
+            _emit_div(w, inst)
+    elif kind is OpKind.LOAD:
+        _emit_load(w, inst, pc)
+    elif kind is OpKind.STORE:
+        _emit_store(w, inst, pc)
+    elif kind is OpKind.LR:
+        _emit_lr(w, inst, pc)
+    elif kind is OpKind.SC:
+        _emit_sc(w, inst, pc)
+    elif kind is OpKind.AMO:
+        _emit_amo(w, inst, pc)
+    else:  # pragma: no cover - planner guards this
+        raise AssertionError(f"non-sequential kind {kind} in member")
+
+
+# ----------------------------------------------------------------------
+# control flow
+# ----------------------------------------------------------------------
+
+_BRANCH_CONDS = {
+    "beq": "{a} == {b}",
+    "bne": "{a} != {b}",
+    "bltu": "{a} < {b}",
+    "bgeu": "{a} >= {b}",
+}
+
+
+def _emit_taken_update(w: _TraceWriter, idx: int, pen: int) -> None:
+    """2-bit counter + mispredict accounting for a taken branch."""
+    w.emit("if _e < 3:")
+    w.emit(f"    bht[{idx}] = _e + 1")
+    w.emit("if _e < 2:")
+    w.emit("    bstats.mispredictions += 1")
+    w.emit(f"    cyc += {pen}")
+
+
+def _emit_nottaken_update(w: _TraceWriter, idx: int, pen: int) -> None:
+    """2-bit counter + mispredict accounting for a not-taken branch."""
+    w.emit("if _e > 0:")
+    w.emit(f"    bht[{idx}] = _e - 1")
+    w.emit("if _e >= 2:")
+    w.emit("    bstats.mispredictions += 1")
+    w.emit(f"    cyc += {pen}")
+
+
+def _emit_branch(w: _TraceWriter, inst, i: int, pc: int,
+                 config: CoreConfig) -> int | None:
+    """Emit a conditional branch; returns the continuation slot.
+
+    The condition is folded straight into the predictor-update
+    ``if``/``else`` (no ``_t`` temp, one test per path).  A branch over
+    a short straight-line gap becomes an if/else diamond (returns the
+    join slot); any other branch is dual-exit — taken leaves the trace,
+    not-taken continues (returns ``i + 1``).  ``None`` means no
+    continuation was possible (never happens today).
+    """
+    bp = config.branch_predictor
+    idx = (pc >> 2) % bp.bht_entries
+    pen = bp.mispredict_penalty_cycles
+    op = inst.op
+    ba, bb = w.bnd(inst.rs1), w.bnd(inst.rs2)
+    a = w.rval(inst.rs1)
+    b = w.rval(inst.rs2)
+    cond = _BRANCH_CONDS.get(op)
+    if cond is not None:
+        cond = cond.format(a=a, b=b)
+    elif ba < _SIGN and bb < _SIGN:   # both provably non-negative
+        cond = f"{a} < {b}" if op == "blt" else f"{a} >= {b}"
+    else:  # blt / bge: signed compare
+        _emit_signed_pair(w, a, b)
+        cond = "_a < _b" if op == "blt" else "_a >= _b"
+    w.has_branch = True
+    w.branches += 1
+    w.count += 1
+    w.static_cyc += 1
+
+    imm = inst.imm
+    insts = w.decoded.insts
+    n = len(insts)
+    if imm == INST_BYTES:
+        # Taken and not-taken meet at the next slot; only the
+        # predictor update diverges, so no register flush is needed.
+        w.emit(f"_e = bht[{idx}]")
+        w.emit(f"if {cond}:")
+        w.indent += 1
+        _emit_taken_update(w, idx, pen)
+        w.indent -= 1
+        w.emit("else:")
+        w.indent += 1
+        _emit_nottaken_update(w, idx, pen)
+        w.indent -= 1
+        return i + 1
+    target = i + imm // INST_BYTES if imm % INST_BYTES == 0 else None
+    gap = (target - i - 1) if target is not None else -1
+    diamond = (
+        target is not None and imm > 0 and target <= n
+        and 0 < gap <= MAX_GAP
+        and w.count + gap <= TRACE_CAP
+        and all(insts[k].info.kind in _SEQUENTIAL_KINDS
+                for k in range(i + 1, target)))
+    # Locals must be architectural before control diverges.
+    w.flush()
+    if not diamond:
+        if target is not None and 0 <= target < n:
+            w.conts.append(target)
+        w.emit(f"_e = bht[{idx}]")
+        w.emit(f"if {cond}:")
+        w.indent += 1
+        _emit_taken_update(w, idx, pen)
+        w.emit_flush_counters()
+        w.emit(f"core.pc = {pc + imm}")
+        w.emit(f"return ({w.ninst_expr(w.count)}, {w.cycles_expr()})")
+        w.indent -= 1
+        _emit_nottaken_update(w, idx, pen)   # fall-through path
+        return i + 1
+
+    # Diamond: emit the gap into a sub-buffer as the not-taken arm;
+    # the taken arm compensates the full-path counters at run time.
+    outer_lines, w.lines = w.lines, []
+    saved_count, saved_static = w.count, w.static_cyc
+    saved_nmem = w.nmem
+    saved_bound = set(w.bound)
+    saved_bounds = dict(w.bounds)
+    base = w.decoded.base
+    for k in range(i + 1, target):
+        _emit_member(w, insts[k], base + k * INST_BYTES, config)
+    gap_written = set(w.dirty)
+    w.flush()
+    gap_lines, w.lines = w.lines, outer_lines
+    gap_count = w.count - saved_count
+    gap_static = w.static_cyc - saved_static
+    gap_nmem = w.nmem - saved_nmem
+
+    w.has_skip = True
+    if gap_nmem:
+        w.has_memskip = True
+    w.emit(f"_e = bht[{idx}]")
+    w.emit(f"if {cond}:")
+    w.indent += 1
+    _emit_taken_update(w, idx, pen)
+    w.emit(f"skipped += {gap_count}")
+    if gap_static:
+        w.emit(f"cyc -= {gap_static}")
+    if gap_nmem:
+        w.emit(f"memskip += {gap_nmem}")
+    w.indent -= 1
+    w.emit("else:")
+    w.indent += 1
+    _emit_nottaken_update(w, idx, pen)
+    w.indent -= 1
+    # gap_lines were rendered at the outer indent; nest them one level.
+    w.lines.extend("    " + line for line in gap_lines)
+    # Locals bound only inside the gap don't exist on the taken path,
+    # and a register the gap wrote holds a path-dependent value: its
+    # post-join bound is the weaker of the two paths' bounds.
+    w.bound = saved_bound
+    joined = {}
+    for k, v in saved_bounds.items():
+        if k in gap_written:
+            v = max(v, w.bounds.get(k, MASK64))
+        if v < MASK64:
+            joined[k] = v
+    w.bounds = joined
+    return target
+
+
+def _emit_jal_inline(w: _TraceWriter, inst, pc: int,
+                     config: CoreConfig) -> None:
+    """Forward jal: fall straight through into the target slot."""
+    w.count += 1
+    w.static_cyc += 1
+    if inst.rd:
+        link = pc + INST_BYTES
+        w.rset(inst.rd, str(link), bound=link)
+        w.has_ras = True
+        w.emit(f"ras.append({link})")
+        w.emit(f"if len(ras) > {config.branch_predictor.ras_entries}:")
+        w.emit("    ras.pop(0)")
+
+
+def _emit_terminal(w: _TraceWriter, slot: int, pc: int) -> None:
+    """Exit through the slot's decoded kernel (jalr/ecall/mret/halt/
+    backward jal): the kernel owns pc, predictor and trap accounting."""
+    kname = f"_k{slot}"
+    w.g[kname] = w.decoded.kernels[slot]
+    w.flush()
+    w.emit_flush_counters()
+    w.emit(f"_c = {kname}(core){w.site_marker(pc, flushed=True)}")
+    w.count += 1
+    w.emit(f"return ({w.ninst_expr(w.count)}, "
+           f"{w.cycles_expr(' + _c')})")
+
+
+# ----------------------------------------------------------------------
+# trace builder
+# ----------------------------------------------------------------------
+
+def _plan_trace(decoded: DecodedProgram, entry: int,
+                config: CoreConfig):
+    """Plan + emit (but do not compile) the trace starting at ``entry``.
+
+    Returns ``(src, filename, globals, name, max_committed, conts)`` —
+    or ``None`` when the trace would be trivial (fewer than two
+    instructions on its longest path), in which case the decoded engine
+    handles the slot permanently.  ``conts`` lists the statically-known
+    continuation slots (cap/CSR exits, dual-exit branch targets,
+    post-ecall return sites); :meth:`CompiledProgram._materialize`
+    arms them with lazy activation stubs so a hot chain needs no
+    per-link warmup while dead side exits never pay emission cost.
+    """
+    insts = decoded.insts
+    n = len(insts)
+    base = decoded.base
+    w = _TraceWriter(decoded, config)
+    i = entry
+    while True:
+        if i >= n or w.count >= TRACE_CAP:
+            if i < n:
+                w.conts.append(i)
+            w.emit_exit(base + i * INST_BYTES)
+            break
+        inst = insts[i]
+        kind = inst.info.kind
+        pc = base + i * INST_BYTES
+        if kind in _SEQUENTIAL_KINDS:
+            _emit_member(w, inst, pc, config)
+            i += 1
+            continue
+        if kind is OpKind.CSR:
+            # CSR kernels observe instret, settled only between calls.
+            if i + 1 < n:
+                w.conts.append(i + 1)
+            w.emit_exit(pc)
+            break
+        if kind is OpKind.BRANCH:
+            i = _emit_branch(w, inst, i, pc, config)
+            continue
+        if kind is OpKind.JUMP and inst.op == "jal" and inst.imm > 0 \
+                and inst.imm % INST_BYTES == 0 \
+                and i + inst.imm // INST_BYTES <= n:
+            _emit_jal_inline(w, inst, pc, config)
+            i += inst.imm // INST_BYTES
+            continue
+        if inst.op == "ecall" and i + 1 < n:
+            w.conts.append(i + 1)   # return site after the trap handler
+        _emit_terminal(w, i, pc)
+        break
+
+    max_ninst = w.count
+    if max_ninst < 2:
+        return None
+
+    name = f"_trace_{entry}"
+    prologue = ["    r = core.regs._regs", "    cyc = 0"]
+    if w.has_skip:
+        prologue.append("    skipped = 0")
+    if w.has_memskip:
+        prologue.append("    memskip = 0")
+    if w.has_sc:
+        prologue.append("    scmops = 0")
+    if w.has_mem:
+        prologue += [
+            "    stats = core.stats",
+            "    port = core.port",
+            "    if port.__class__ is _DP "
+            "and port.memory.__class__ is _MM:",
+            "        _mem = port.memory",
+            "        _words = _mem._words",
+            "        mget = _words.get",
+            "        _size = _mem.size_bytes",
+            "        _lat = port.latency",
+            "    else:",
+            "        _size = 0",
+            "        _lat = 0",
+        ]
+    if w.has_branch or w.has_ras:
+        prologue.append("    _pred = core.predictor")
+    if w.has_branch:
+        prologue.append("    bht = _pred._bht")
+        prologue.append("    bstats = _pred.stats")
+    if w.has_ras:
+        prologue.append("    ras = _pred._ras")
+    if w.sites:
+        # One function-level handler settles any bail-out: raising
+        # lines carry a ``# @<idx>`` marker tying their line number to
+        # the site table captured at emission time.
+        body = ["    try:"]
+        body += ["    " + line for line in w.lines]
+        body += ["    except BaseException:",
+                 "        _mbail(core, _SITES)",
+                 "        raise"]
+    else:
+        body = w.lines
+    all_lines = [f"def {name}(core):"] + prologue + body
+    if w.sites:
+        sites_map = {}
+        for ln, line in enumerate(all_lines, 1):
+            _, sep, idx = line.rpartition("  # @")
+            if sep:
+                sites_map[ln] = w.sites[int(idx)]
+        w.g["_SITES"] = sites_map
+    src = "\n".join(all_lines) + "\n"
+    filename = (f"<repro-compiled:{decoded.program.name}:"
+                f"{base + entry * INST_BYTES:#x}>")
+    return src, filename, w.g, name, max_ninst, w.conts
+
+
+def _compile_plan(plan) -> "object":
+    """``compile()`` + ``exec()`` a :func:`_plan_trace` result into the
+    trace function, registering the source with :mod:`linecache` so
+    tracebacks through generated code stay readable."""
+    src, filename, g, name = plan[:4]
+    code = compile(src, filename, "exec")
+    ns: dict = {}
+    exec(code, g, ns)
+    fn = ns[name]
+    fn.__trace_source__ = src
+    linecache.cache[filename] = (len(src), None, src.splitlines(True),
+                                 filename)
+    return fn
+
+
+# ----------------------------------------------------------------------
+# compiled table
+# ----------------------------------------------------------------------
+
+class CompiledProgram:
+    """Per-slot trace table for one program + timing configuration.
+
+    ``traces[i]`` is a callable ``tr(core) -> (committed, cycles)`` —
+    initially a counting thunk that runs the decoded block kernel and
+    materializes (plans + compiles) the real trace after ``warmup``
+    dispatches — or ``None`` for slots whose trace would be trivial
+    (the dispatch loop uses the decoded path there).  When a trace
+    materializes, its statically-known continuation slots (cap splits,
+    CSR exits, branch side exits) get *lazy activation stubs* that
+    materialize on their first dispatch with no warmup delay: a hot
+    loop chain goes fully live within one iteration, while rare side
+    exits that never fire never pay emission or ``compile()`` cost.
+    ``trace_lens[i]`` bounds how many instructions a call may commit,
+    so the dispatch loop can gate on its remaining budget; stub slots
+    hold the conservative ``_LEN_BOUND`` until materialized, and a
+    materialized trace never commits more than its recorded length,
+    so the bound is always safe.
+    """
+
+    __slots__ = ("decoded", "config", "warmup", "traces", "trace_lens",
+                 "_counts", "_planned")
+
+    def __init__(self, decoded: DecodedProgram, config: CoreConfig,
+                 warmup: int | None = None):
+        self.decoded = decoded
+        self.config = config
+        self.warmup = default_warmup() if warmup is None else warmup
+        n = len(decoded.insts)
+        self._counts = [0] * n
+        self._planned = [False] * n
+        self.trace_lens = list(decoded.block_lens)
+        self.traces: list = [self._make_thunk(i) for i in range(n)]
+
+    def _make_thunk(self, i: int):
+        block = self.decoded.blocks[i]
+        length = self.decoded.block_lens[i]
+        counts = self._counts
+
+        def thunk(core):
+            counts[i] += 1
+            if counts[i] > self.warmup:
+                fn = self._materialize(i)
+                if fn is not None:
+                    return fn(core)
+            return (length, block(core))
+        return thunk
+
+    def _make_lazy_stub(self, i: int):
+        """Activation stub for a statically-known continuation slot.
+
+        A cap-split continuation is only ever dispatched from its
+        predecessor's trace exit, so it would warm up one ``warmup``
+        window per loop iteration if it kept a counting thunk; the
+        stub instead materializes on its *first* dispatch, so a hot
+        chain goes fully live within one loop iteration.  Installing
+        it costs no emission — slots that name a rare side exit (a
+        diamond bail target that never fires) stay stubs forever and
+        never pay plan or ``compile()`` cost.  Until materialized,
+        ``trace_lens`` holds the conservative ``_LEN_BOUND``.
+        """
+        block = self.decoded.blocks[i]
+        length = self.decoded.block_lens[i]
+
+        def stub(core):
+            fn = self._materialize(i)
+            if fn is not None:
+                return fn(core)
+            return (length, block(core))
+        return stub
+
+    def _materialize(self, i: int):
+        """Plan + compile slot ``i`` now; install the result.
+
+        Returns the trace function, or ``None`` when the slot is
+        trivial (decoded path used permanently).  Continuation slots
+        still in warmup get lazy activation stubs.
+        """
+        self._planned[i] = True
+        plan = _plan_trace(self.decoded, i, self.config)
+        if plan is None:
+            self.traces[i] = None
+            self.trace_lens[i] = self.decoded.block_lens[i]
+            return None
+        self.trace_lens[i] = plan[4]
+        fn = _compile_plan(plan)
+        self.traces[i] = fn
+        for j in plan[5]:
+            if not self._planned[j]:
+                self._planned[j] = True
+                self.trace_lens[j] = _LEN_BOUND
+                self.traces[j] = self._make_lazy_stub(j)
+        return fn
+
+    def compile_entry(self, i: int):
+        """Compile slot ``i``'s trace eagerly (or mark it decoded-only).
+
+        Tests and offline tooling use this to force traces live without
+        warmup; the dispatch path goes through :meth:`_materialize`.
+        """
+        self._materialize(i)
+        return self.traces[i]
+
+
+def compiled_table(program: Program, config: CoreConfig, *,
+                   warmup: int | None = None) -> CompiledProgram:
+    """The compiled trace table for ``program`` under ``config``.
+
+    Memoised on ``program.decode_cache`` next to the decoded tables,
+    keyed by every parameter the generated code inlines: the mul/div
+    latencies and mispredict penalty (shared with the decoded key) plus
+    the predictor geometry (BHT index masks, RAS/BTB bounds are baked
+    into trace source).
+    """
+    decoded = decode_program(program, config)
+    bp = config.branch_predictor
+    key = ("compiled", config.mul_latency_cycles,
+           config.div_latency_cycles, bp.mispredict_penalty_cycles,
+           bp.bht_entries, bp.btb_entries, bp.ras_entries)
+    cached = program.decode_cache.get(key)
+    if cached is not None and cached.decoded is decoded \
+            and (warmup is None or cached.warmup == warmup):
+        return cached
+    table = CompiledProgram(decoded, config, warmup=warmup)
+    program.decode_cache[key] = table
+    return table

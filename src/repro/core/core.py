@@ -9,7 +9,14 @@ functional units into each core").
 
 Execution engines
 -----------------
-The core dispatches through one of two engines:
+The core dispatches through one of three bit-identical engines:
+
+``interp``
+    The seed string-keyed interpreter, kept verbatim as the executable
+    reference.  The differential suite
+    (``tests/core/test_differential_engine.py``) runs every engine
+    against it over randomized programs and asserts bit-identical
+    architectural state, Memory Access Log streams and cycle counts.
 
 ``decoded`` (default)
     The decoded-dispatch engine (:mod:`repro.core.decode`): every
@@ -19,25 +26,33 @@ The core dispatches through one of two engines:
     on the record-free paths :meth:`advance` / :meth:`exec_one` — no
     per-step allocation for non-memory instructions.
 
-``interp``
-    The seed string-keyed interpreter, kept verbatim as the executable
-    reference.  The differential suite
-    (``tests/core/test_differential_engine.py``) runs both engines over
-    randomized programs and asserts bit-identical architectural state,
-    Memory Access Log streams and cycle counts.
+``compiled``
+    The code-generating trace tier (:mod:`repro.core.compile`): hot
+    entry points are translated into specialized Python functions with
+    register indices, immediates and timing constants inlined as
+    literals, used by the batched :meth:`advance` loop when the L1I
+    timing path is off.  :meth:`step` and :meth:`exec_one` behave
+    exactly as under ``decoded`` (they are per-instruction by nature),
+    and guarded bail-outs preserve the uncommitted-instruction
+    contract on every trap.
 
-Select with ``Core(..., engine="interp")`` or the ``REPRO_CORE_ENGINE``
-environment variable.
+Select with ``Core(..., engine=...)``, a pinned ``CoreConfig.engine``,
+or the ``REPRO_CORE_ENGINE`` environment variable — see
+:func:`resolve_engine` for the precedence; :func:`engine_override`
+pins a tier for a dynamic extent the way ``soc_sched_override`` does
+for the co-sim scheduler.
 """
 
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from ..config import CoreConfig
+from ..config import CORE_ENGINE_CHOICES, CoreConfig
 from ..errors import (
+    ConfigurationError,
     ExecutionLimitExceeded,
     IllegalInstructionError,
     PrivilegeError,
@@ -52,6 +67,7 @@ from ..isa.instructions import (
 from ..isa.program import Program
 from .branch import BranchPredictor
 from .cache import Cache, MemoryHierarchy
+from .compile import CompiledProgram, compiled_table
 from .decode import DecodedProgram, decode_program
 from .memory import MemoryPort
 from .registers import (
@@ -71,7 +87,70 @@ from .registers import (
 #: Environment override for the default execution engine.
 _ENGINE_ENV = "REPRO_CORE_ENGINE"
 
-_ENGINES = ("decoded", "interp")
+#: Concrete engine tiers, reference first (``auto`` is a deferral, not
+#: a tier).  Benches iterate this, so new tiers are swept automatically.
+_ENGINES = tuple(name for name in CORE_ENGINE_CHOICES if name != "auto")
+
+
+def resolve_engine(name: str | None = None,
+                   config: CoreConfig | None = None) -> str:
+    """Resolve an execution-engine request to a concrete tier.
+
+    Precedence: an explicit ``name`` argument, then a non-``auto``
+    ``CoreConfig.engine``, then the ``REPRO_CORE_ENGINE`` environment
+    variable, then ``decoded``.  Any unknown name — including an env
+    var typo — raises :class:`~repro.errors.ConfigurationError` naming
+    the offending value, its source and the valid tiers, so a
+    misspelled engine fails loudly at core construction instead of
+    silently selecting the default.
+    """
+    sources = (
+        ("engine argument", name),
+        ("CoreConfig.engine", config.engine if config is not None
+         else None),
+        (f"{_ENGINE_ENV} environment variable",
+         os.environ.get(_ENGINE_ENV)),
+    )
+    for source, raw in sources:
+        requested = (raw or "").strip().lower()
+        if not requested or requested == "auto":
+            continue
+        if requested not in _ENGINES:
+            raise ConfigurationError(
+                f"unknown execution engine {raw!r} (from {source}); "
+                f"valid tiers: {', '.join(_ENGINES)} (or 'auto')")
+        return requested
+    return "decoded"
+
+
+@contextmanager
+def engine_override(engine: str | None):
+    """Pin ``REPRO_CORE_ENGINE`` for a dynamic extent.
+
+    ``None`` / ``"auto"`` leave the environment untouched.  Mirrors
+    ``soc_sched_override``: the tier is validated eagerly, exported via
+    the environment so campaign worker processes spawned inside the
+    extent inherit it, and the previous value is restored on exit.
+    Engines are bit-identical, so this never perturbs results — only
+    throughput.
+    """
+    if engine is None or engine == "auto":
+        yield
+        return
+    if engine not in _ENGINES:
+        raise ConfigurationError(
+            f"unknown execution engine {engine!r} (from engine "
+            f"override); valid tiers: {', '.join(_ENGINES)} "
+            "(or 'auto')")
+    prior = os.environ.get(_ENGINE_ENV)
+    os.environ[_ENGINE_ENV] = engine
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop(_ENGINE_ENV, None)
+        else:
+            os.environ[_ENGINE_ENV] = prior
 
 
 class MemEntry:
@@ -186,8 +265,10 @@ class Core:
         Optional instruction-fetch timing path; when omitted, fetches
         are free (functional-only runs).
     engine:
-        ``"decoded"`` (default) or ``"interp"`` (seed reference
-        interpreter); falls back to the ``REPRO_CORE_ENGINE`` env var.
+        ``"interp"`` (seed reference interpreter), ``"decoded"``
+        (default) or ``"compiled"`` (trace codegen); ``None`` defers to
+        ``config.engine`` and then the ``REPRO_CORE_ENGINE`` env var —
+        see :func:`resolve_engine`.
     """
 
     def __init__(self, core_id: int, config: CoreConfig, port: MemoryPort,
@@ -210,14 +291,11 @@ class Core:
         self._reservation: Optional[int] = None
         self._pending_interrupt: Optional[int] = None
         self._hooks: list[CommitHook] = []
-        engine = engine or os.environ.get(_ENGINE_ENV, "decoded")
-        if engine not in _ENGINES:
-            raise ValueError(
-                f"unknown execution engine {engine!r}; choose from "
-                f"{_ENGINES}")
-        self.engine = engine
-        self._use_decoded = engine == "decoded"
+        self.engine = resolve_engine(engine, config)
+        self._use_kernels = self.engine != "interp"
+        self._use_compiled = self.engine == "compiled"
         self._decoded: Optional[DecodedProgram] = None
+        self._compiled: Optional[CompiledProgram] = None
         # Kernel scratch (see repro.core.decode kernel contract).
         self._record_mem = True
         self._mem_scratch: tuple = ()
@@ -235,6 +313,7 @@ class Core:
         self.pc = entry if entry is not None else program.entry
         self.halted = False
         self._decoded = None
+        self._compiled = None
 
     def add_commit_hook(self, hook: CommitHook) -> None:
         self._hooks.append(hook)
@@ -312,7 +391,7 @@ class Core:
             return record
 
         pc = self.pc
-        if not self._use_decoded:
+        if not self._use_kernels:
             inst = self.program.fetch(pc)
             cycles = 1
             if self.l1i is not None and self.hierarchy is not None:
@@ -356,7 +435,7 @@ class Core:
         registered, reference engine, pending interrupt).  Returns the
         cycles charged.
         """
-        if (self._hooks or not self._use_decoded
+        if (self._hooks or not self._use_kernels
                 or self._pending_interrupt is not None):
             return self.step().cycles
         if self.halted:
@@ -413,7 +492,7 @@ class Core:
                 and not self.halted:
             self.step()
             executed += 1
-        if self._hooks or not self._use_decoded:
+        if self._hooks or not self._use_kernels:
             while executed < n and not self.halted:
                 self.step()
                 executed += 1
@@ -437,6 +516,18 @@ class Core:
             fetch = hierarchy.fetch_access
         blocks = d.blocks
         block_lens = d.block_lens
+        # Trace dispatch needs block-granular commits, so it only runs
+        # when the per-instruction I-fetch timing model is off; the
+        # decoded tables remain the fallback for cold/trivial slots and
+        # for traces that might overrun the remaining budget.
+        use_compiled = self._use_compiled and not use_l1i
+        if use_compiled:
+            table = self._compiled
+            if table is None or table.decoded is not d:
+                table = compiled_table(self.program, self.config)
+                self._compiled = table
+            traces = table.traces
+            trace_lens = table.trace_lens
         cycles = 0
         user = 0
         in_user = False
@@ -455,6 +546,9 @@ class Core:
                     # needs each pc, so blocks cannot be fused.
                     take = 1
                     c = fetch(l1i, pc) + kernels[idx](self)
+                elif use_compiled and traces[idx] is not None \
+                        and trace_lens[idx] <= n - executed:
+                    take, c = traces[idx](self)
                 else:
                     take = block_lens[idx]
                     if take > n - executed:

@@ -15,6 +15,14 @@ over its inbound channel:
 The engine is driven in small steps by the SoC co-simulation so checker
 cycles interleave realistically with main-core cycles; backpressure and
 detection latency emerge from that interleaving.
+
+Replay steps one instruction at a time (``peek_kind_code`` +
+``exec_one``), so the checker itself never batches through an
+execution-engine tier; main cores may run under any
+``REPRO_CORE_ENGINE`` tier (``interp``/``decoded``/``compiled``) and
+produce bit-identical commit streams, MAL entries and checkpoints —
+the three-way differential suite replays injected faults under every
+tier to prove detection results are engine-invariant.
 """
 
 from __future__ import annotations

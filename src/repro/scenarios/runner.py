@@ -27,6 +27,7 @@ from ..analysis.latency import (
 from ..analysis.slowdown import _fig4_unit, _fig6_unit, _suite_specs
 from ..campaign import CampaignStats, run_campaign, run_grouped_campaign
 from ..config import SoCConfig
+from ..core import engine_override
 from ..flexstep.faults import FaultTarget
 from ..flexstep.soc import soc_sched_override
 from ..sched.backend import backend_override
@@ -200,21 +201,24 @@ def run_scenario(scenario: Scenario, *,
                  cache: object = "auto",
                  seed: Optional[int] = None,
                  backend: Optional[str] = None,
-                 soc_sched: Optional[str] = None) -> ScenarioResult:
+                 soc_sched: Optional[str] = None,
+                 engine: Optional[str] = None) -> ScenarioResult:
     """Run one scenario end-to-end through the campaign engine.
 
     ``seed`` overrides the scenario's built-in seed (the catalog tables
     are all produced with the built-in one).  ``workers``/``cache``
     follow the campaign defaults (``REPRO_WORKERS``,
     ``REPRO_CACHE_DIR``); ``backend`` pins the schedulability backend
-    for sched scenarios (default ``REPRO_SCHED_BACKEND`` / auto) and
+    for sched scenarios (default ``REPRO_SCHED_BACKEND`` / auto),
     ``soc_sched`` the co-simulation scheduler for co-sim scenarios
-    (default ``REPRO_SOC_SCHED`` / heap).  Results are independent of
-    all four — backend and scheduler are execution knobs, never part
-    of scenario identity.
+    (default ``REPRO_SOC_SCHED`` / heap), and ``engine`` the core
+    execution engine tier (default ``REPRO_CORE_ENGINE`` / decoded).
+    Results are independent of all five — backend, scheduler and
+    engine are execution knobs, never part of scenario identity.
     """
     run_seed = scenario.seed if seed is None else seed
-    with backend_override(backend), soc_sched_override(soc_sched):
+    with backend_override(backend), soc_sched_override(soc_sched), \
+            engine_override(engine):
         payload, stats = _RUNNERS[scenario.kind](
             scenario, run_seed, workers, cache)
     return ScenarioResult(scenario=scenario, seed=run_seed,

@@ -74,7 +74,7 @@ class TestAluSemantics:
         assert to_signed64(core.regs.read(3)) == q
         assert to_signed64(core.regs.read(4)) == r
 
-    @pytest.mark.parametrize("engine", ["interp", "decoded"])
+    @pytest.mark.parametrize("engine", ["interp", "decoded", "compiled"])
     @pytest.mark.parametrize("a,b", [
         ((1 << 62) + 12345, 3),            # beyond float53 precision
         ((1 << 63) - 1, 7),                # INT64_MAX
@@ -266,7 +266,7 @@ class TestControlFlow:
         """)
         assert core.regs.read(3) == (1 if taken else 0)
 
-    @pytest.mark.parametrize("engine", ["interp", "decoded"])
+    @pytest.mark.parametrize("engine", ["interp", "decoded", "compiled"])
     def test_jalr_call_path(self, engine):
         """jalr with rd != 0 is a call: writes the link register."""
         prog = assemble("""
@@ -285,7 +285,7 @@ class TestControlFlow:
         assert core.regs.read(1) == 222
         assert core.regs.read(3) == 8   # pc of jalr + 4
 
-    @pytest.mark.parametrize("engine", ["interp", "decoded"])
+    @pytest.mark.parametrize("engine", ["interp", "decoded", "compiled"])
     def test_jalr_return_path_uses_ras(self, engine):
         """jalr x0, x1 is a return: predicted via the RAS, no penalty
         when the call/return pair matches."""
@@ -308,7 +308,7 @@ class TestControlFlow:
         # BTB never trains on them.
         assert core.predictor._btb == {}
 
-    @pytest.mark.parametrize("engine", ["interp", "decoded"])
+    @pytest.mark.parametrize("engine", ["interp", "decoded", "compiled"])
     def test_jalr_call_with_rd_equal_rs1(self, engine):
         """The target is computed before the link write clobbers rs1."""
         prog = assemble("""
@@ -326,7 +326,7 @@ class TestControlFlow:
         assert core.regs.read(1) == 0
         assert core.regs.read(5) == 8   # link, not the old target
 
-    @pytest.mark.parametrize("engine", ["interp", "decoded"])
+    @pytest.mark.parametrize("engine", ["interp", "decoded", "compiled"])
     def test_jalr_indirect_writes_rd_exactly_once(self, engine):
         """Plain indirect jump (rd=0, rs1!=ra) must not write anything;
         the seed had a dead duplicated rd write on this path."""

@@ -12,6 +12,7 @@ from repro.config import CoreConfig
 from repro.core import Core, DirectPort, MainMemory, Privilege
 from repro.core.decode import BLOCK_CAP, decode_program
 from repro.errors import (
+    ConfigurationError,
     ExecutionLimitExceeded,
     IllegalInstructionError,
     IsaError,
@@ -76,7 +77,7 @@ class TestAdvance:
 
     def test_run_watchdog_parity(self):
         prog = assemble("loop:\nj loop")
-        for engine in ("interp", "decoded"):
+        for engine in ("interp", "decoded", "compiled"):
             core, _ = _core(prog, engine=engine)
             with pytest.raises(ExecutionLimitExceeded):
                 core.run(max_instructions=100)
@@ -120,7 +121,7 @@ class TestAdvance:
 
     def test_runaway_pc_raises_canonical_error(self):
         prog = assemble("nop\nnop")        # no halt: falls off the end
-        for engine in ("interp", "decoded"):
+        for engine in ("interp", "decoded", "compiled"):
             core, _ = _core(prog, engine=engine)
             with pytest.raises(IsaError, match="outside program"):
                 core.run(100)
@@ -157,7 +158,7 @@ class TestMidBlockExceptions:
             csrrw x2, 0x340, x1
             halt
         """)
-        for engine in ("interp", "decoded"):
+        for engine in ("interp", "decoded", "compiled"):
             core, _ = _core(prog, engine=engine)
             with pytest.raises(PrivilegeError):
                 core.run(100)
@@ -198,6 +199,15 @@ class TestExecOne:
         assert core.peek_kind_code() == K_HALT
 
     def test_unknown_engine_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError, match="turbo") as exc:
             Core(0, CoreConfig(), DirectPort(MainMemory()),
                  engine="turbo")
+        # The error names every valid tier so typos are self-repairing.
+        for name in ("interp", "decoded", "compiled"):
+            assert name in str(exc.value)
+
+    def test_unknown_engine_env_rejected(self, monkeypatch):
+        """Typos in REPRO_CORE_ENGINE fail loudly, naming the source."""
+        monkeypatch.setenv("REPRO_CORE_ENGINE", "jit")
+        with pytest.raises(ConfigurationError, match="REPRO_CORE_ENGINE"):
+            Core(0, CoreConfig(), DirectPort(MainMemory()))

@@ -1,14 +1,23 @@
-"""Differential testing: decoded-dispatch engine vs seed interpreter.
+"""Differential testing: every engine tier vs the seed interpreter.
 
-Randomized programs run on both execution engines and every observable
+Randomized programs run on all execution engines and every observable
 must be bit-identical: final :class:`ArchSnapshot`, the commit-ordered
 :class:`MemEntry` stream, per-commit cycle counts, memory contents,
-``instret`` and all :class:`CoreStats` counters.  Three comparisons per
-program:
+``instret`` and all :class:`CoreStats` counters.  Per program, each
+non-reference tier is compared to the ``interp`` seed reference twice:
 
-* ``interp`` ``step()``  — the seed reference,
-* ``decoded`` ``step()`` — kernel dispatch with CommitRecords (hooks),
-* ``decoded`` ``run()``  — the record-free block-dispatch fast path.
+* ``step()`` — single-step with CommitRecords (hooks),
+* ``run()``  — the record-free batched fast path (the only path where
+  the ``compiled`` tier dispatches generated trace functions).
+
+The suite also proves engine invariance where it matters to the paper:
+full checker-replay fault campaigns (checker-side, main-side and burst
+faults) produce identical detection payloads under every tier, the
+``exec_one``/``peek_kind_code`` single-step surface the checkers replay
+through is tier-independent, and the compiled tier's guarded bail-out
+honours the uncommitted-instruction contract when a trace faults
+mid-flight (memory faults in straight lines, diamond gaps, stores and
+out-of-range accesses, plus privilege traps).
 """
 
 import random
@@ -16,10 +25,13 @@ import random
 import pytest
 
 from repro.config import CoreConfig
-from repro.core import Core, DirectPort, MainMemory, CSR_MTVEC
-from repro.isa.instructions import OPS, OpKind
+from repro.core import CSR_MTVEC, Core, DirectPort, MainMemory
+from repro.core import engine_override
+from repro.core.compile import compiled_table
+from repro.core.core import _ENGINES
+from repro.isa import assemble
+from repro.isa.instructions import OPS, Instruction, OpKind
 from repro.isa.program import DataSegment, Program
-from repro.isa.instructions import Instruction
 
 from ..conftest import make_ecall_program, make_sum_program
 
@@ -28,6 +40,22 @@ from ..conftest import make_ecall_program, make_sum_program
 _DATA_REGS = (2, 3, 4, 5, 7, 8, 9, 10)
 _MEM_BASE = 0x1000
 _MEM_WORDS = 64
+
+#: The tiers compared against the ``interp`` reference.
+_ALT_ENGINES = tuple(e for e in _ENGINES if e != "interp")
+
+
+@pytest.fixture(autouse=True)
+def _eager_traces(monkeypatch):
+    """Drop the compiled tier's warmup to zero for every test here.
+
+    Differential programs mostly run each block once; with the
+    production warmup threshold the compiled tier would fall back to
+    decoded kernels and the comparison would prove nothing.  Warmup 0
+    materializes a trace on its first dispatch, so even single-pass
+    code executes through generated trace functions.
+    """
+    monkeypatch.setenv("REPRO_CORE_COMPILE_WARMUP", "0")
 
 
 def _random_program(seed: int, length: int = 400) -> Program:
@@ -162,37 +190,39 @@ def test_random_programs_bit_identical(seed):
     program = _random_program(seed)
     ref_snap, ref_trace, ref_counters, ref_mem = _execute(
         program, "interp", via="step")
-    dec_snap, dec_trace, dec_counters, dec_mem = _execute(
-        program, "decoded", via="step")
-    assert dec_snap.diff(ref_snap) == []
-    assert dec_trace == ref_trace
-    assert dec_counters == ref_counters
-    assert dec_mem == ref_mem
-    # The record-free block-dispatch path must land in the same state.
-    fast_snap, _, fast_counters, fast_mem = _execute(
-        program, "decoded", via="run")
-    assert fast_snap.diff(ref_snap) == []
-    assert fast_counters == ref_counters
-    assert fast_mem == ref_mem
+    for engine in _ALT_ENGINES:
+        snap, trace, counters, mem = _execute(program, engine, via="step")
+        assert snap.diff(ref_snap) == [], engine
+        assert trace == ref_trace, engine
+        assert counters == ref_counters, engine
+        assert mem == ref_mem, engine
+        # The record-free batched path must land in the same state;
+        # for "compiled" this is the path that dispatches traces.
+        fast_snap, _, fast_counters, fast_mem = _execute(
+            program, engine, via="run")
+        assert fast_snap.diff(ref_snap) == [], engine
+        assert fast_counters == ref_counters, engine
+        assert fast_mem == ref_mem, engine
 
 
 @pytest.mark.parametrize("make_prog", [make_sum_program,
                                        make_ecall_program])
 def test_fixture_programs_bit_identical(make_prog):
-    """Loops and privilege round-trips match across engines too."""
+    """Loops and privilege round-trips match across all engines too."""
     program = make_prog()
     ref = _execute(program, "interp", via="step")
-    dec = _execute(program, "decoded", via="step")
-    fast = _execute(program, "decoded", via="run")
-    assert dec[0].diff(ref[0]) == []
-    assert dec[1] == ref[1]
-    assert dec[2] == ref[2] == fast[2]
-    assert dec[3] == ref[3] == fast[3]
-    assert fast[0].diff(ref[0]) == []
+    for engine in _ALT_ENGINES:
+        stepped = _execute(program, engine, via="step")
+        fast = _execute(program, engine, via="run")
+        assert stepped[0].diff(ref[0]) == [], engine
+        assert stepped[1] == ref[1], engine
+        assert stepped[2] == ref[2] == fast[2], engine
+        assert stepped[3] == ref[3] == fast[3], engine
+        assert fast[0].diff(ref[0]) == [], engine
 
 
 def test_workload_generator_programs_bit_identical():
-    """The paper's synthetic workload mix, both engines, both modes."""
+    """The paper's synthetic workload mix, all engines, both modes."""
     from repro.workloads.generator import GeneratorOptions, build_program
     from repro.workloads.profiles import get_profile
     for name, mode in (("dedup", "plain"), ("hmmer", "nzdc")):
@@ -200,9 +230,202 @@ def test_workload_generator_programs_bit_identical():
             get_profile(name),
             GeneratorOptions(target_instructions=8000, mode=mode))
         ref = _execute(program, "interp", via="step")
-        dec = _execute(program, "decoded", via="step")
-        fast = _execute(program, "decoded", via="run")
-        assert dec[0].diff(ref[0]) == [], (name, mode)
-        assert dec[1] == ref[1], (name, mode)
-        assert dec[2] == ref[2] == fast[2], (name, mode)
-        assert dec[3] == ref[3] == fast[3], (name, mode)
+        for engine in _ALT_ENGINES:
+            stepped = _execute(program, engine, via="step")
+            fast = _execute(program, engine, via="run")
+            assert stepped[0].diff(ref[0]) == [], (name, mode, engine)
+            assert stepped[1] == ref[1], (name, mode, engine)
+            assert stepped[2] == ref[2] == fast[2], (name, mode, engine)
+            assert stepped[3] == ref[3] == fast[3], (name, mode, engine)
+            assert fast[0].diff(ref[0]) == [], (name, mode, engine)
+
+
+# ---------------------------------------------------------------------------
+# checker replay with injected faults — full campaign payload per tier
+# ---------------------------------------------------------------------------
+
+#: Fault-campaign variants: single-bit checker-side faults, main-side
+#: faults (the checker's replay must *disagree* to detect them), and
+#: multi-bit bursts.
+_FAULT_SCENARIOS = {
+    "checker-side": {"side": "checker"},
+    "main-side": {"side": "main"},
+    "bursts": {"side": "checker", "burst_bits": 3},
+}
+
+
+def _latency_payload(engine: str, overrides: dict) -> dict:
+    from repro.analysis.latency import FIG7_DEFAULTS, _fig7_specs, _fig7_unit
+    from repro.workloads.profiles import get_profile
+
+    options = {**FIG7_DEFAULTS, "target_instructions": 8000,
+               "seed": 11, "repeats": 1, **overrides}
+    spec, = _fig7_specs(get_profile("dedup"), **options)
+    with engine_override(engine):
+        return _fig7_unit(spec, 0)
+
+
+@pytest.mark.parametrize("scenario", sorted(_FAULT_SCENARIOS))
+def test_checker_replay_faults_engine_invariant(scenario):
+    """Injected-fault detection payloads are identical per tier.
+
+    The main core may run any engine; the checker replays one
+    instruction at a time regardless.  Latencies, detection counts and
+    the full per-fault record list must not move by a bit.
+    """
+    overrides = _FAULT_SCENARIOS[scenario]
+    ref = _latency_payload("interp", overrides)
+    assert ref["injected"] > 0
+    assert ref["detected"] > 0
+    for engine in _ALT_ENGINES:
+        assert _latency_payload(engine, overrides) == ref, engine
+
+
+# ---------------------------------------------------------------------------
+# exec_one / peek_kind_code — the surface checker replay steps through
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", _ALT_ENGINES)
+def test_exec_one_and_peek_match_interp(engine):
+    program = make_sum_program(40)
+
+    def drive(eng):
+        memory = MainMemory()
+        memory.load_segment(program.data.words)
+        core = Core(0, CoreConfig(), DirectPort(memory), engine=eng)
+        core.load_program(program)
+        stream = []
+        while not core.halted:
+            stream.append((core.pc, core.peek_kind_code(),
+                           core.exec_one()))
+        return stream, core.snapshot(), core.stats
+
+    ref_stream, ref_snap, ref_stats = drive("interp")
+    stream, snap, stats = drive(engine)
+    assert stream == ref_stream
+    assert snap.diff(ref_snap) == []
+    assert stats == ref_stats
+
+
+# ---------------------------------------------------------------------------
+# compiled guard paths — the uncommitted-instruction contract
+# ---------------------------------------------------------------------------
+
+#: Programs whose traces fault mid-flight.  Each exercises a distinct
+#: bail-out site class in the generated code: a slow-arm load after ALU
+#: work dirtied register locals, a fault inside a forward-branch
+#: diamond's gap arm, a store fault after a committed fast-path store,
+#: an out-of-range access (address past the memory size), and a
+#: privilege trap from user mode.
+_GUARD_CASES = {
+    "mid_trace_fault": """
+        li x1, 100
+        addi x2, x1, 23
+        xor x3, x2, x1
+        li x4, 3
+        ld x5, 0(x4)
+        addi x6, x0, 99
+        halt
+    """,
+    "diamond_gap_fault": """
+        li x1, 0
+        li x4, 5
+        beq x1, x4, 8
+        ld x5, 3(x0)
+        addi x6, x0, 1
+        halt
+    """,
+    "store_fault": """
+        li x1, 64
+        li x2, 7
+        sd x2, 0(x1)
+        sd x2, 3(x1)
+        halt
+    """,
+    "oob_fault": """
+        li x1, 1
+        slli x1, x1, 40
+        addi x2, x0, 11
+        ld x3, 0(x1)
+        halt
+    """,
+    "mret_from_user": """
+        addi x1, x0, 1
+        addi x2, x1, 2
+        mret
+        halt
+    """,
+}
+
+
+def _run_to_fault(prog, engine: str, *, eager: bool = False):
+    """Run until the program faults; return the error + full state.
+
+    ``eager=True`` force-compiles a trace for every entry first, so the
+    fault is guaranteed to cross a generated trace frame rather than a
+    lazy activation stub's decoded fallback.
+    """
+    cfg = CoreConfig()
+    if eager:
+        table = compiled_table(prog, cfg)
+        for i in range(len(prog.instructions)):
+            table.compile_entry(i)
+    memory = MainMemory()
+    memory.load_segment(prog.data.words)
+    core = Core(0, cfg, DirectPort(memory), engine=engine)
+    core.load_program(prog)
+    err = None
+    try:
+        core.run(1000)
+    except Exception as exc:
+        err = (type(exc).__name__, str(exc))
+    pstats = core.predictor.stats
+    return (err, core.snapshot().words(), core.pc,
+            core.stats.instructions, core.stats.user_instructions,
+            core.stats.cycles, core.stats.memory_ops, core.stats.traps,
+            pstats.predictions, pstats.mispredictions,
+            tuple(sorted(memory._words.items())))
+
+
+@pytest.mark.parametrize("case", sorted(_GUARD_CASES))
+def test_compiled_guard_paths_bit_identical(case):
+    """A fault inside a trace bails out to the exact interp state.
+
+    Lazy first (activation stubs still cold), then eager (every entry
+    force-compiled): both must reproduce the interpreter's error,
+    architectural state, pc, counters, predictor stats and memory.
+    """
+    prog = assemble(_GUARD_CASES[case])
+    ref = _run_to_fault(prog, "interp")
+    assert ref[0] is not None, "case must actually fault"
+    assert _run_to_fault(prog, "compiled") == ref
+    assert _run_to_fault(prog, "compiled", eager=True) == ref
+
+
+def test_compiled_mid_trace_fault_contract():
+    """The uncommitted-instruction contract, spelled out.
+
+    A trap mid-trace must settle exactly the committed prefix: the
+    faulting load is not retired, pc sits on the faulting slot, dirty
+    register locals are flushed, and the destination register keeps its
+    old committed value.
+    """
+    prog = assemble(_GUARD_CASES["mid_trace_fault"])
+    table = compiled_table(prog, CoreConfig())
+    for i in range(len(prog.instructions)):
+        table.compile_entry(i)
+    memory = MainMemory()
+    core = Core(0, CoreConfig(), DirectPort(memory), engine="compiled")
+    core.load_program(prog)
+    from repro.errors import MemoryAccessError
+    with pytest.raises(MemoryAccessError):
+        core.run(1000)
+    assert core.stats.instructions == 4          # li/addi/xor/li only
+    assert core.csrs.raw_read(0xC02) == 4        # instret agrees
+    assert core.pc == 16                         # the faulting ld slot
+    assert core.regs.read(2) == 123              # dirty locals flushed
+    assert core.regs.read(3) == 123 ^ 100
+    assert core.regs.read(5) == 0                # rd not clobbered
+    assert core.regs.read(6) == 0                # successor not run
+    assert core.stats.memory_ops == 0            # the load never landed
