@@ -6,20 +6,33 @@ Subcommands::
     python -m repro run --scenario NAME      # run + print + save report
     python -m repro run --all                # every catalog entry
     python -m repro report [NAME ...]        # re-render saved reports
+    python -m repro cache fsck               # verify cache envelopes
+    python -m repro cache gc                 # sweep tmp/quarantine
 
 ``run`` executes through the campaign engine, so ``REPRO_WORKERS``
 controls the fan-out and ``REPRO_CACHE_DIR`` the result cache; results
 are bit-identical for any worker count and replay from a warm cache
-without recomputation.  Reports land in ``REPRO_REPORT_DIR`` (default
-``<repo>/.repro_reports``) as JSON documents embedding the exact
-scenario that produced them.
+without recomputation.  ``--unit-timeout``/``--max-retries``/
+``--strict`` arm the campaign's fault tolerance (hung units are killed
+and retried, failing units retried then quarantined); an interrupted
+run (SIGINT/SIGTERM) exits 130 leaving a resumable manifest — re-run
+the same command to resume.  Reports land in ``REPRO_REPORT_DIR``
+(default ``<repo>/.repro_reports``) as JSON documents embedding the
+exact scenario that produced them.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from .campaign import (
+    CampaignError,
+    CampaignInterrupted,
+    ResultCache,
+    default_cache_dir,
+)
 from .config import CORE_ENGINE_CHOICES, SOC_SCHED_CHOICES
 from .sched.backend import BACKEND_CHOICES
 from .scenarios import (
@@ -65,18 +78,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
     cache = None if args.no_cache else "auto"
     for name in names:
         scenario = _scaled(get_scenario(name), args)
-        result = run_scenario(scenario, workers=args.workers,
-                              cache=cache, seed=args.seed,
-                              backend=args.backend,
-                              soc_sched=args.soc_sched,
-                              engine=args.engine)
+        try:
+            result = run_scenario(scenario, workers=args.workers,
+                                  cache=cache, seed=args.seed,
+                                  backend=args.backend,
+                                  soc_sched=args.soc_sched,
+                                  engine=args.engine,
+                                  unit_timeout=args.unit_timeout,
+                                  max_retries=args.max_retries,
+                                  strict=args.strict or None)
+        except CampaignInterrupted as exc:
+            print(f"interrupted: {exc}", file=sys.stderr)
+            return 130
+        except CampaignError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         print(result.render())
         if not args.dry_run:
             path = result.save(args.report_dir)
             print(f"saved {path}")
         stats = result.stats
+        if stats.quarantined:
+            print(f"WARNING: {stats.quarantined} unit(s) quarantined "
+                  f"after {stats.max_retries} retry/retries — results "
+                  "are partial (re-run to retry, or --strict to fail)",
+                  file=sys.stderr)
         print(f"({stats.computed} computed, {stats.cached} cached, "
               f"{stats.workers} worker(s), {stats.seconds:.2f}s)\n")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    root = args.cache_dir or default_cache_dir()
+    cache = ResultCache(root)
+    if args.cache_command == "fsck":
+        report = cache.fsck()
+        print(json.dumps({"cache_dir": str(root), **report}, indent=1))
+        return 1 if report["quarantined"] else 0
+    report = cache.gc(tmp_max_age_s=args.tmp_age,
+                      quarantine_max_age_s=args.quarantine_age)
+    print(json.dumps({"cache_dir": str(root), **report}, indent=1))
     return 0
 
 
@@ -141,6 +182,19 @@ def main(argv: "list[str] | None" = None) -> int:
                      help="override the scenario's built-in seed")
     run.add_argument("--no-cache", action="store_true",
                      help="bypass the campaign result cache")
+    run.add_argument("--unit-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-unit wall-clock timeout; hung units are "
+                          "killed and retried (default "
+                          "REPRO_UNIT_TIMEOUT or none)")
+    run.add_argument("--max-retries", type=int, default=None,
+                     metavar="N",
+                     help="retries per failing unit before quarantine "
+                          "(default REPRO_MAX_RETRIES or 0)")
+    run.add_argument("--strict", action="store_true",
+                     help="fail the run if any unit is quarantined "
+                          "(default REPRO_CAMPAIGN_STRICT or degrade "
+                          "gracefully)")
     run.add_argument("--dry-run", action="store_true",
                      help="print the tables without saving a report")
     run.add_argument("--report-dir", default=None,
@@ -159,9 +213,31 @@ def main(argv: "list[str] | None" = None) -> int:
     report.add_argument("--report-dir", default=None,
                         help="report directory to read")
 
+    cache = sub.add_parser(
+        "cache", help="maintain the campaign result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    fsck = cache_sub.add_parser(
+        "fsck", help="verify every entry's checksum envelope; corrupt "
+                     "entries move to quarantine (exit 1 if any)")
+    gc = cache_sub.add_parser(
+        "gc", help="sweep leaked writer tmp files and aged quarantine")
+    for sub_cmd in (fsck, gc):
+        sub_cmd.add_argument("--cache-dir", default=None,
+                             help="cache root (default REPRO_CACHE_DIR "
+                                  "or <repo>/.repro_cache)")
+    from .campaign.cache import GC_QUARANTINE_MAX_AGE_S, GC_TMP_MAX_AGE_S
+    gc.add_argument("--tmp-age", type=float,
+                    default=GC_TMP_MAX_AGE_S, metavar="SECONDS",
+                    help="max age of *.tmp.<pid> writer litter "
+                         "(default 1 hour)")
+    gc.add_argument("--quarantine-age", type=float,
+                    default=GC_QUARANTINE_MAX_AGE_S, metavar="SECONDS",
+                    help="max age of quarantined corpses "
+                         "(default 7 days)")
+
     args = parser.parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run,
-               "report": _cmd_report}[args.command]
+               "report": _cmd_report, "cache": _cmd_cache}[args.command]
     return handler(args)
 
 

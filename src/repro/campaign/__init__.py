@@ -6,8 +6,8 @@ co-simulation campaigns over a workload suite — and the seed repo ran
 every one of them strictly serially in a single Python process.  This
 package turns a sweep into a declarative **campaign**: a grid of small,
 independent *work units*, each seeded deterministically from the
-campaign seed and the unit's spec, fanned out over a
-``multiprocessing`` pool and persisted to a content-addressed on-disk
+campaign seed and the unit's spec, fanned out over a supervised pool
+of worker processes and persisted to a content-addressed on-disk
 cache.
 
 Guarantees (see ``tests/campaign/``):
@@ -16,23 +16,39 @@ Guarantees (see ``tests/campaign/``):
   ``spawn_seed(campaign seed, unit spec)``, never from process state or
   scheduling order, so ``workers=1`` and ``workers=N`` produce
   bit-identical results.
+* **Fault tolerance** — the supervisor (:mod:`.supervisor`) survives
+  unit exceptions, hung units (per-unit wall-clock timeouts) and
+  dead/OOM-killed workers (liveness polling + respawn).  Failures are
+  retried with the *same* spawn seed (a successful retry is
+  bit-identical to a never-failed run) and quarantined as structured
+  :class:`UnitFailure` records after the retry budget; SIGINT/SIGTERM
+  drain in-flight units and leave a resumable run manifest.  The chaos
+  harness (``tests/campaign/chaos.py`` + ``REPRO_CHAOS``) proves all
+  of it differentially against clean ``workers=1`` runs.
 * **Resume for free** — each completed unit is written to the cache
-  under a digest of (function, version, seed, spec); re-runs and
-  partially-failed sweeps recompute only what is missing.
+  under a digest of (function, version, seed, spec) inside a checksum
+  envelope; re-runs, partially-failed and interrupted sweeps recompute
+  only what is missing, and corrupt entries are quarantined, never
+  served (``python -m repro cache fsck|gc``).
 * **Zero-dependency** — stdlib ``multiprocessing`` + ``json`` only.
 
 Knobs: ``REPRO_WORKERS`` (worker count, default ``os.cpu_count()``;
 ``1`` = in-process serial path for debugging), ``REPRO_CACHE_DIR``
 (cache root, default ``<repo>/.repro_cache``; set ``cache=None`` in
-code to disable).
+code to disable), ``REPRO_UNIT_TIMEOUT`` / ``REPRO_MAX_RETRIES`` /
+``REPRO_RETRY_BACKOFF`` / ``REPRO_CAMPAIGN_STRICT`` /
+``REPRO_SHUTDOWN_GRACE`` (fault tolerance; see :mod:`.engine`).
 """
 
 from .cache import ResultCache, unit_digest
 from .engine import (
     CampaignError,
+    CampaignInterrupted,
     CampaignRun,
     CampaignStats,
+    campaign_manifest_key,
     canonical_json,
+    chaos_from_env,
     code_token,
     default_cache_dir,
     default_workers,
@@ -41,13 +57,20 @@ from .engine import (
     run_grouped_campaign,
     spawn_seed,
 )
+from .supervisor import ChaosConfig, ChaosError, UnitFailure
 
 __all__ = [
     "CampaignError",
+    "CampaignInterrupted",
     "CampaignRun",
     "CampaignStats",
+    "ChaosConfig",
+    "ChaosError",
     "ResultCache",
+    "UnitFailure",
+    "campaign_manifest_key",
     "canonical_json",
+    "chaos_from_env",
     "code_token",
     "default_cache_dir",
     "default_workers",

@@ -8,25 +8,53 @@ declarative grid (one JSON-able dict per unit).  The engine
    campaign seed and the unit spec (SHA-256, never ``hash()`` — stable
    across processes, platforms and Python runs),
 2. answers units already in the result cache without recomputation,
-3. chunks the remaining units onto a ``multiprocessing`` pool
-   (``workers=1`` runs in-process — same code path minus the pool),
+3. fans the remaining units onto the fault-tolerant supervisor
+   (:mod:`repro.campaign.supervisor`): per-unit wall-clock timeouts,
+   dead-worker detection with respawn, bounded deterministic retries
+   (same spawn seed on every attempt, so a successful retry is
+   bit-identical to a never-failed run) and quarantine of poisoned
+   units as structured :class:`UnitFailure` records in
+   ``CampaignRun.failures`` — one bad unit degrades the campaign, it
+   no longer kills it (``workers=1`` runs in-process — same semantics
+   minus the processes),
 4. writes each result to the cache as it arrives, so an interrupted
-   sweep resumes from where it died,
+   sweep resumes from where it died; SIGINT/SIGTERM trigger a graceful
+   shutdown that drains in-flight units, writes a resumable run
+   manifest (completed digests + outstanding specs + failures) under
+   the cache root and raises :class:`CampaignInterrupted`,
 5. returns results in spec order regardless of completion order.
 
 Every payload — computed or cached — is normalised through a JSON
 round-trip before it is returned, so a campaign's output is invariant
 to worker count *and* to cache state (tuples become lists exactly once,
 on every path).
+
+Fault-tolerance knobs (execution-only: excluded from spawn seeds and
+cache digests, like every backend/scheduler/engine knob in this repo):
+
+=========================  ==============================================
+``REPRO_UNIT_TIMEOUT``     per-unit wall-clock seconds (default: none)
+``REPRO_MAX_RETRIES``      attempts after the first failure (default 0)
+``REPRO_RETRY_BACKOFF``    base of the deterministic exponential backoff
+                           between attempts, seconds (default 0.05)
+``REPRO_CAMPAIGN_STRICT``  raise :class:`CampaignError` summarising all
+                           quarantined units at campaign end (default:
+                           degrade gracefully)
+``REPRO_SHUTDOWN_GRACE``   drain window for in-flight units on
+                           SIGINT/SIGTERM, seconds (default 5)
+``REPRO_CHAOS``            test-only fault injector (JSON; see
+                           ``tests/campaign/chaos.py``)
+=========================  ==============================================
 """
 
 from __future__ import annotations
 
 import hashlib
-import importlib
 import json
 import multiprocessing
 import os
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -34,14 +62,50 @@ from typing import Any, Callable, Mapping, Optional, Sequence
 
 from ..errors import ReproError
 from .cache import ResultCache, canonical_json, unit_digest
+from .supervisor import (
+    ChaosConfig,
+    SupervisorReport,
+    UnitFailure,
+    normalize_payload,
+    run_serial,
+    run_supervised,
+)
 
 _ENV_WORKERS = "REPRO_WORKERS"
 _ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 _ENV_START_METHOD = "REPRO_MP_START"
+_ENV_UNIT_TIMEOUT = "REPRO_UNIT_TIMEOUT"
+_ENV_MAX_RETRIES = "REPRO_MAX_RETRIES"
+_ENV_RETRY_BACKOFF = "REPRO_RETRY_BACKOFF"
+_ENV_STRICT = "REPRO_CAMPAIGN_STRICT"
+_ENV_SHUTDOWN_GRACE = "REPRO_SHUTDOWN_GRACE"
+_ENV_CHAOS = "REPRO_CHAOS"
 
 
 class CampaignError(ReproError):
-    """A campaign could not be set up or a unit failed."""
+    """A campaign could not be set up, or failed units under strict mode.
+
+    Carries the partial :class:`CampaignRun` (``.run``), the quarantined
+    :class:`UnitFailure` records (``.failures``) and the resumable
+    manifest path (``.manifest``) when they exist.
+    """
+
+    def __init__(self, message: str, *, run: Any = None,
+                 failures: Optional[list] = None,
+                 manifest: Optional[str] = None):
+        super().__init__(message)
+        self.run = run
+        self.failures = failures or []
+        self.manifest = manifest
+
+
+class CampaignInterrupted(CampaignError):
+    """SIGINT/SIGTERM stopped the campaign after a graceful drain.
+
+    Completed units are already in the result cache and listed in the
+    run manifest (``.manifest``): re-running the identical campaign
+    resumes with zero recompute of completed units.
+    """
 
 
 def spawn_seed(campaign_seed: int, *key_parts: Any) -> int:
@@ -76,6 +140,68 @@ def default_cache_dir() -> Path:
     return Path(__file__).resolve().parents[3] / ".repro_cache"
 
 
+def default_unit_timeout() -> Optional[float]:
+    """Per-unit timeout: ``REPRO_UNIT_TIMEOUT`` seconds, else none."""
+    raw = os.environ.get(_ENV_UNIT_TIMEOUT, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise CampaignError(
+            f"{_ENV_UNIT_TIMEOUT} must be a number of seconds, "
+            f"got {raw!r}") from None
+    if value <= 0:
+        raise CampaignError(f"{_ENV_UNIT_TIMEOUT} must be > 0, got {raw}")
+    return value
+
+
+def default_max_retries() -> int:
+    """Retry budget: ``REPRO_MAX_RETRIES`` env, else 0."""
+    raw = os.environ.get(_ENV_MAX_RETRIES, "").strip()
+    if not raw:
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        raise CampaignError(
+            f"{_ENV_MAX_RETRIES} must be an integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise CampaignError(f"{_ENV_MAX_RETRIES} must be >= 0, got {raw}")
+    return value
+
+
+def default_retry_backoff() -> float:
+    """Backoff base: ``REPRO_RETRY_BACKOFF`` seconds, else 0.05."""
+    raw = os.environ.get(_ENV_RETRY_BACKOFF, "").strip()
+    return float(raw) if raw else 0.05
+
+
+def default_strict() -> bool:
+    """Strict mode: ``REPRO_CAMPAIGN_STRICT`` truthy, else graceful."""
+    raw = os.environ.get(_ENV_STRICT, "").strip().lower()
+    return raw in ("1", "true", "yes", "on")
+
+
+def default_shutdown_grace() -> float:
+    """Drain window on shutdown: ``REPRO_SHUTDOWN_GRACE``, else 5 s."""
+    raw = os.environ.get(_ENV_SHUTDOWN_GRACE, "").strip()
+    return float(raw) if raw else 5.0
+
+
+def chaos_from_env() -> Optional[ChaosConfig]:
+    """The test-only ``REPRO_CHAOS`` fault injector, when armed."""
+    raw = os.environ.get(_ENV_CHAOS, "").strip()
+    if not raw:
+        return None
+    try:
+        return ChaosConfig(**json.loads(raw))
+    except (json.JSONDecodeError, TypeError, ValueError) as exc:
+        raise CampaignError(
+            f"invalid {_ENV_CHAOS} spec {raw!r}: {exc}") from None
+
+
 def resolve_cache(cache: Any) -> Optional[ResultCache]:
     """Normalise the ``cache`` knob: ``None`` disables, ``"auto"`` uses
     the default directory, a path uses that directory, a
@@ -98,23 +224,6 @@ def _fn_ref(fn: Callable) -> str:
             f"unit function {fn!r} must be a module-level function so "
             "worker processes can import it")
     return f"{module}:{qualname}"
-
-
-_RESOLVED: dict[str, Callable] = {}
-
-
-def _resolve(fn_ref: str) -> Callable:
-    fn = _RESOLVED.get(fn_ref)
-    if fn is None:
-        module, _, qualname = fn_ref.partition(":")
-        fn = getattr(importlib.import_module(module), qualname)
-        _RESOLVED[fn_ref] = fn
-    return fn
-
-
-def _normalize(payload: Any) -> Any:
-    """JSON round-trip so fresh and cached results are indistinguishable."""
-    return json.loads(json.dumps(payload))
 
 
 _CODE_TOKEN: Optional[str] = None
@@ -142,16 +251,15 @@ def code_token() -> str:
     return _CODE_TOKEN
 
 
-def _execute_unit(item: tuple[int, str, Any, int]) -> tuple[int, Any]:
-    """Run one unit (pool worker entry point; also the serial path)."""
-    index, fn_ref, spec, rng_seed = item
-    payload = _resolve(fn_ref)(spec, rng_seed)
-    return index, _normalize(payload)
-
-
 @dataclass
 class CampaignStats:
-    """Bookkeeping for one campaign run."""
+    """Bookkeeping for one campaign run.
+
+    ``chunk_size`` is the *effective* dispatch chunking (forced to 1
+    whenever timeouts, retries or chaos are armed, so failure handling
+    keeps per-unit granularity) — recorded so bench replays stay
+    comparable.
+    """
 
     total: int = 0
     computed: int = 0
@@ -160,14 +268,27 @@ class CampaignStats:
     chunk_size: int = 1
     seconds: float = 0.0
     cache_dir: Optional[str] = None
+    retried: int = 0
+    quarantined: int = 0
+    timeouts: int = 0
+    worker_respawns: int = 0
+    interrupted: bool = False
+    unit_timeout: Optional[float] = None
+    max_retries: int = 0
+    manifest: Optional[str] = None
 
 
 @dataclass
 class CampaignRun:
-    """Results (in spec order) plus run statistics."""
+    """Results (in spec order) plus run statistics.
+
+    ``failures`` holds one :class:`UnitFailure` per quarantined unit;
+    the corresponding ``results`` slots stay ``None``.
+    """
 
     results: list = field(default_factory=list)
     stats: CampaignStats = field(default_factory=CampaignStats)
+    failures: list = field(default_factory=list)
 
 
 def _start_method() -> str:
@@ -180,15 +301,44 @@ def _start_method() -> str:
     return multiprocessing.get_start_method()
 
 
+def campaign_manifest_key(fn_ref: str, version: str, seed: int,
+                          specs: Sequence[Any]) -> str:
+    """The manifest name of one campaign grid.
+
+    Keyed on the *declared* version (not the source-tree token), so an
+    interrupted run's manifest survives a code edit and stays findable.
+    """
+    ident = canonical_json([fn_ref, version, seed, list(specs)])
+    return hashlib.sha256(ident.encode("utf-8")).hexdigest()[:16]
+
+
+def _failure_summary(failures: Sequence[UnitFailure],
+                     shown: int = 3) -> str:
+    parts = [
+        f"[{f.index}] {f.error_type} after {f.attempts} attempt(s): "
+        f"{f.message}" for f in failures[:shown]]
+    if len(failures) > shown:
+        parts.append(f"... and {len(failures) - shown} more")
+    return (f"{len(failures)} unit(s) quarantined: " + "; ".join(parts))
+
+
 def run_campaign(fn: Callable[[Any, int], Any], specs: Sequence[Any], *,
                  seed: int = 0, workers: Optional[int] = None,
                  cache: Any = "auto",
-                 chunk_size: Optional[int] = None) -> CampaignRun:
+                 chunk_size: Optional[int] = None,
+                 unit_timeout: Optional[float] = None,
+                 max_retries: Optional[int] = None,
+                 retry_backoff: Optional[float] = None,
+                 strict: Optional[bool] = None) -> CampaignRun:
     """Execute every unit of a campaign grid; see the module docstring.
 
     ``fn`` may carry a ``campaign_version`` attribute (default ``"1"``);
     bump it whenever the unit's semantics change so stale cache entries
     are never served.
+
+    ``unit_timeout``/``max_retries``/``retry_backoff``/``strict``
+    default to their ``REPRO_*`` environment knobs.  All four are
+    execution-only: they never perturb spawn seeds or cache digests.
     """
     fn_ref = _fn_ref(fn)
     version = str(getattr(fn, "campaign_version", "1"))
@@ -196,11 +346,23 @@ def run_campaign(fn: Callable[[Any, int], Any], specs: Sequence[Any], *,
     n_workers = workers if workers is not None else default_workers()
     if n_workers < 1:
         raise CampaignError(f"workers must be >= 1, got {n_workers}")
+    if unit_timeout is None:
+        unit_timeout = default_unit_timeout()
+    if max_retries is None:
+        max_retries = default_max_retries()
+    if max_retries < 0:
+        raise CampaignError(f"max_retries must be >= 0, got {max_retries}")
+    if retry_backoff is None:
+        retry_backoff = default_retry_backoff()
+    if strict is None:
+        strict = default_strict()
+    chaos = chaos_from_env()
 
     start = time.perf_counter()
     results: list[Any] = [None] * len(specs)
     digests: list[Optional[str]] = [None] * len(specs)
-    pending: list[tuple[int, str, Any, int]] = []
+    done: set[int] = set()
+    pending: list[tuple] = []
     cached = 0
     miss = object()   # distinguishes a cached null payload from a miss
     # Spawn seeds depend on the *declared* version only (stable RNG
@@ -215,36 +377,118 @@ def run_campaign(fn: Callable[[Any, int], Any], specs: Sequence[Any], *,
             hit = store.get(digest, miss)
             if hit is not miss:
                 results[index] = hit
+                done.add(index)
                 cached += 1
                 continue
-        pending.append((index, fn_ref, spec, rng_seed))
+        pending.append((index, fn_ref, spec, rng_seed, digests[index]))
 
     n_workers = min(n_workers, len(pending)) or 1
-    if chunk_size is None:
-        chunk_size = max(1, len(pending) // (n_workers * 4) or 1)
+    # Timeouts, retries and chaos all need per-unit dispatch: a chunk
+    # would make one hung unit poison its whole chunk's granularity.
+    supervised_features = (unit_timeout is not None or max_retries > 0
+                           or chaos is not None)
+    if supervised_features:
+        effective_chunk = 1
+    elif chunk_size is not None:
+        effective_chunk = chunk_size
+    else:
+        effective_chunk = max(1, len(pending) // (n_workers * 4) or 1)
 
     def _record(index: int, payload: Any) -> None:
         results[index] = payload
+        done.add(index)
         if store is not None:
             store.put(digests[index], payload)
 
-    if n_workers == 1:
-        for item in pending:
-            index, payload = _execute_unit(item)
-            _record(index, payload)
-    else:
-        ctx = multiprocessing.get_context(_start_method())
-        with ctx.Pool(processes=n_workers) as pool:
-            for index, payload in pool.imap_unordered(
-                    _execute_unit, pending, chunksize=chunk_size):
-                _record(index, payload)
+    # Worker processes are required for preemption (timeouts) and for
+    # chaos kills, even at workers=1; the plain in-process path remains
+    # the default serial story.
+    use_processes = bool(pending) and (
+        n_workers > 1 or unit_timeout is not None or chaos is not None)
+
+    shutdown = threading.Event()
+    installed: list[tuple[int, Any]] = []
+
+    def _request_shutdown(signum, frame):
+        shutdown.set()
+
+    if threading.current_thread() is threading.main_thread():
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                installed.append((sig, signal.signal(sig,
+                                                     _request_shutdown)))
+            except (ValueError, OSError):  # pragma: no cover
+                continue
+    try:
+        if not pending:
+            report = SupervisorReport()
+        elif use_processes:
+            ctx = multiprocessing.get_context(_start_method())
+            report = run_supervised(
+                pending, workers=n_workers, ctx=ctx, record=_record,
+                max_retries=max_retries, retry_backoff=retry_backoff,
+                unit_timeout=unit_timeout, chaos=chaos,
+                chunk_size=effective_chunk,
+                shutdown_grace=default_shutdown_grace(),
+                shutdown_event=shutdown)
+        else:
+            report = run_serial(
+                pending, record=_record, max_retries=max_retries,
+                retry_backoff=retry_backoff, shutdown_event=shutdown)
+    finally:
+        for sig, previous in installed:
+            signal.signal(sig, previous)
+
+    failures = report.failures
+    manifest_path: Optional[str] = None
+    if store is not None:
+        key = campaign_manifest_key(fn_ref, version, seed, specs)
+        if report.interrupted or failures:
+            quarantined_ix = {f.index for f in failures}
+            doc = {
+                "fn": fn_ref,
+                "version": version,
+                "seed": seed,
+                "total": len(specs),
+                "completed": sorted(
+                    digests[i] for i in done if digests[i] is not None),
+                "outstanding": [
+                    {"index": i, "spec": specs[i]}
+                    for i in range(len(specs))
+                    if i not in done and i not in quarantined_ix],
+                "failures": [f.to_dict() for f in failures],
+                "interrupted": report.interrupted,
+                "written_at_unix": round(time.time(), 3),
+            }
+            manifest_path = str(store.put_manifest(key, doc))
+        else:
+            # a clean completion supersedes any earlier interrupt
+            store.clear_manifest(key)
 
     stats = CampaignStats(
-        total=len(specs), computed=len(pending), cached=cached,
-        workers=n_workers, chunk_size=chunk_size,
+        total=len(specs), computed=len(done) - cached, cached=cached,
+        workers=n_workers, chunk_size=effective_chunk,
         seconds=time.perf_counter() - start,
-        cache_dir=str(store.root) if store is not None else None)
-    return CampaignRun(results=results, stats=stats)
+        cache_dir=str(store.root) if store is not None else None,
+        retried=report.retries, quarantined=len(failures),
+        timeouts=report.timeouts,
+        worker_respawns=report.worker_deaths,
+        interrupted=report.interrupted,
+        unit_timeout=unit_timeout, max_retries=max_retries,
+        manifest=manifest_path)
+    run = CampaignRun(results=results, stats=stats, failures=failures)
+
+    if report.interrupted:
+        where = (f"; resumable manifest at {manifest_path}"
+                 if manifest_path else "")
+        raise CampaignInterrupted(
+            f"campaign interrupted: {len(done)}/{len(specs)} units "
+            f"complete, {len(report.outstanding)} outstanding{where}",
+            run=run, failures=failures, manifest=manifest_path)
+    if strict and failures:
+        raise CampaignError(_failure_summary(failures), run=run,
+                            failures=failures, manifest=manifest_path)
+    return run
 
 
 def run_grouped_campaign(fn: Callable[[Any, int], Any],
@@ -252,6 +496,10 @@ def run_grouped_campaign(fn: Callable[[Any, int], Any],
                          seed: int = 0, workers: Optional[int] = None,
                          cache: Any = "auto",
                          chunk_size: Optional[int] = None,
+                         unit_timeout: Optional[float] = None,
+                         max_retries: Optional[int] = None,
+                         retry_backoff: Optional[float] = None,
+                         strict: Optional[bool] = None,
                          ) -> tuple[dict[str, list], CampaignStats]:
     """Run several spec groups as **one** flat campaign.
 
@@ -265,10 +513,17 @@ def run_grouped_campaign(fn: Callable[[Any, int], Any],
     for specs in groups.values():
         flat.extend(specs)
     run = run_campaign(fn, flat, seed=seed, workers=workers, cache=cache,
-                       chunk_size=chunk_size)
+                       chunk_size=chunk_size, unit_timeout=unit_timeout,
+                       max_retries=max_retries,
+                       retry_backoff=retry_backoff, strict=strict)
     sliced: dict[str, list] = {}
     offset = 0
     for key, specs in groups.items():
         sliced[key] = run.results[offset:offset + len(specs)]
         offset += len(specs)
     return sliced, run.stats
+
+
+# Backwards-compatible alias: the JSON round-trip normaliser moved to
+# the supervisor module (workers import it there).
+_normalize = normalize_payload

@@ -1,0 +1,552 @@
+"""Fault-tolerant supervised executor for campaign work units.
+
+The campaign engine used to fan units onto a bare
+``multiprocessing.Pool.imap_unordered``: one unit exception — or one
+OOM-killed worker — lost the whole sweep, with no timeout, retry or
+post-mortem.  This module replaces the pool with a *supervisor* that
+owns a set of single-purpose worker processes and survives everything
+a worker can do to it:
+
+* **per-unit wall-clock timeouts** — a hung unit is killed (its worker
+  with it) and the unit is retried or quarantined;
+* **dead-worker detection** — a worker that exits mid-unit (crash,
+  ``os._exit``, OOM kill) is detected by liveness polling, the unit it
+  held is charged one attempt, any queued-but-unstarted units of its
+  batch are requeued untouched, and a fresh worker is respawned;
+* **bounded deterministic retries** — a failed unit is redispatched
+  with the *same* spawn seed after an exponential (but deterministic,
+  never random) backoff, so a successful retry is bit-identical to a
+  never-failed run;
+* **quarantine** — a unit that fails ``max_retries + 1`` attempts
+  becomes a structured :class:`UnitFailure` (exception type, message,
+  traceback, per-attempt log) and the campaign keeps going;
+* **graceful shutdown** — when the engine's signal handler sets the
+  shutdown event, dispatch stops, in-flight units get a grace period
+  to drain, and everything else is reported as outstanding so the
+  engine can write a resumable manifest.
+
+Results are reported per unit (never per batch), so a worker death
+can only ever lose the unit it was actually running — and because
+unit payloads are pure functions of ``(spec, rng_seed)``, a lost
+result message is indistinguishable from a failure and is safely
+recomputed.
+
+The :class:`ChaosConfig` fault injector (``REPRO_CHAOS``) is a
+test-only hook used by ``tests/campaign/chaos.py``: it deterministically
+kills workers mid-unit, raises injected exceptions and hangs units so
+the chaos suite can prove the supervisor's guarantees differentially
+against a clean ``workers=1`` run.  It is only ever active inside
+worker processes — the supervisor passes the parsed config down
+explicitly, and the serial in-process path never injects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import importlib
+import json
+import os
+import random
+import signal
+import threading
+import time
+import traceback as traceback_mod
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+#: Supervisor loop tick while waiting for worker progress.
+_POLL_S = 0.01
+#: terminate() -> kill() escalation window for an unresponsive worker.
+_KILL_GRACE_S = 1.0
+#: Exit code used by the chaos injector's worker kills.
+CHAOS_EXIT_CODE = 113
+
+
+class ChaosError(RuntimeError):
+    """The exception injected by the ``REPRO_CHAOS`` fault injector."""
+
+
+# ---------------------------------------------------------------------------
+# unit execution (shared by workers and the serial path)
+# ---------------------------------------------------------------------------
+
+_RESOLVED: dict[str, Callable] = {}
+
+
+def resolve_unit_fn(fn_ref: str) -> Callable:
+    """Import a unit function from its ``module:qualname`` reference."""
+    fn = _RESOLVED.get(fn_ref)
+    if fn is None:
+        module, _, qualname = fn_ref.partition(":")
+        fn = getattr(importlib.import_module(module), qualname)
+        _RESOLVED[fn_ref] = fn
+    return fn
+
+
+def normalize_payload(payload: Any) -> Any:
+    """JSON round-trip so fresh and cached results are indistinguishable."""
+    return json.loads(json.dumps(payload))
+
+
+# ---------------------------------------------------------------------------
+# chaos injection (test-only)
+# ---------------------------------------------------------------------------
+
+
+def _chaos_seed(chaos_seed: int, rng_seed: int, attempt: int) -> int:
+    """Deterministic injection seed — SHA-256, never ``hash()``, so a
+    chaos run replays identically in every worker and every process."""
+    ident = f"{chaos_seed}:{rng_seed}:{attempt}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(ident).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Deterministic fault-injection rates for worker processes.
+
+    ``kill``/``exc``/``hang`` are per-attempt probabilities (one draw
+    decides, so they must sum to <= 1).  ``attempts`` bounds which
+    attempt numbers are eligible for injection: attempts at or past
+    the bound always run clean, which is what lets a chaos test prove
+    convergence with a finite retry budget.
+    """
+
+    seed: int = 0
+    kill: float = 0.0
+    exc: float = 0.0
+    hang: float = 0.0
+    hang_s: float = 60.0
+    attempts: int = 1 << 30
+
+    def __post_init__(self) -> None:
+        rates = (self.kill, self.exc, self.hang)
+        if min(rates) < 0 or sum(rates) > 1:
+            raise ValueError(
+                f"chaos rates must be >= 0 and sum to <= 1: {self}")
+
+    def draw(self, rng_seed: int, attempt: int,
+             ) -> tuple[Optional[str], Optional[str]]:
+        """The injection decision for one attempt: ``(mode, kill_point)``
+        where mode is ``None``/``"kill"``/``"exc"``/``"hang"`` and the
+        kill point is ``"before"`` or ``"after"`` the unit body (an
+        after-kill exercises the lost-result-message recovery path)."""
+        if attempt >= self.attempts:
+            return None, None
+        rng = random.Random(_chaos_seed(self.seed, rng_seed, attempt))
+        roll = rng.random()
+        point = "before" if rng.random() < 0.5 else "after"
+        if roll < self.kill:
+            return "kill", point
+        if roll < self.kill + self.exc:
+            return "exc", None
+        if roll < self.kill + self.exc + self.hang:
+            return "hang", None
+        return None, None
+
+
+def run_attempt(fn_ref: str, spec: Any, rng_seed: int, attempt: int,
+                chaos: Optional[ChaosConfig]) -> Any:
+    """Execute one attempt of one unit (chaos-instrumented)."""
+    mode = point = None
+    if chaos is not None:
+        mode, point = chaos.draw(rng_seed, attempt)
+    if mode == "hang":
+        time.sleep(chaos.hang_s)
+    elif mode == "exc":
+        raise ChaosError(f"injected unit failure (attempt {attempt})")
+    elif mode == "kill" and point == "before":
+        os._exit(CHAOS_EXIT_CODE)
+    payload = normalize_payload(resolve_unit_fn(fn_ref)(spec, rng_seed))
+    if mode == "kill" and point == "after":
+        os._exit(CHAOS_EXIT_CODE)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# failure records and reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class UnitFailure:
+    """One quarantined work unit, with its full attempt history."""
+
+    index: int
+    spec: Any
+    rng_seed: int
+    digest: Optional[str]
+    attempts: int
+    error_type: str
+    message: str
+    traceback: Optional[str] = None
+    attempt_log: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "spec": self.spec,
+            "rng_seed": self.rng_seed,
+            "digest": self.digest,
+            "attempts": self.attempts,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempt_log": list(self.attempt_log),
+        }
+
+
+@dataclass
+class SupervisorReport:
+    """What happened to the pending units of one campaign."""
+
+    failures: list = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+    interrupted: bool = False
+    #: Indexes neither completed nor quarantined (graceful shutdown).
+    outstanding: list = field(default_factory=list)
+
+
+class _Unit:
+    """Supervisor-side bookkeeping for one pending work unit."""
+
+    __slots__ = ("index", "fn_ref", "spec", "rng_seed", "digest",
+                 "attempt", "log")
+
+    def __init__(self, index: int, fn_ref: str, spec: Any, rng_seed: int,
+                 digest: Optional[str]):
+        self.index = index
+        self.fn_ref = fn_ref
+        self.spec = spec
+        self.rng_seed = rng_seed
+        self.digest = digest
+        self.attempt = 0
+        self.log: list = []
+
+    def as_task(self) -> tuple:
+        return (self.index, self.attempt, self.fn_ref, self.spec,
+                self.rng_seed)
+
+    def failure(self, error_type: str, message: str,
+                tb: Optional[str]) -> UnitFailure:
+        return UnitFailure(
+            index=self.index, spec=self.spec, rng_seed=self.rng_seed,
+            digest=self.digest, attempts=self.attempt + 1,
+            error_type=error_type, message=message, traceback=tb,
+            attempt_log=list(self.log))
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(task_q, result_q, chaos_spec: Optional[dict]) -> None:
+    """Worker loop: take a batch, report one result message per unit.
+
+    SIGINT is ignored so a terminal ctrl-C reaches only the supervisor,
+    which then drains or cancels us deliberately.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    chaos = ChaosConfig(**chaos_spec) if chaos_spec else None
+    while True:
+        batch = task_q.get()
+        if batch is None:
+            return
+        for index, attempt, fn_ref, spec, rng_seed in batch:
+            try:
+                payload = run_attempt(fn_ref, spec, rng_seed, attempt,
+                                      chaos)
+            except BaseException as exc:
+                result_q.put(("err", index, attempt,
+                              type(exc).__name__, str(exc),
+                              traceback_mod.format_exc()))
+            else:
+                result_q.put(("ok", index, attempt, payload))
+
+
+class _Worker:
+    """One supervised worker process plus its private queues.
+
+    Queues are per-worker so a worker that dies mid-write can corrupt
+    only its own result stream — the supervisor then discards the
+    stream with the worker instead of losing the whole campaign.
+    """
+
+    def __init__(self, ctx, chaos_spec: Optional[dict]):
+        self.task_q = ctx.SimpleQueue()
+        self.result_q = ctx.SimpleQueue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(self.task_q, self.result_q, chaos_spec),
+            daemon=True)
+        self.process.start()
+        #: Dispatched-but-unreported units, in dispatch order.
+        self.batch: deque[_Unit] = deque()
+        self.last_progress = time.monotonic()
+
+    def dispatch(self, units: Sequence[_Unit]) -> None:
+        self.batch.extend(units)
+        self.last_progress = time.monotonic()
+        self.task_q.put([unit.as_task() for unit in units])
+
+    def shutdown(self, kill: bool = False) -> None:
+        """Stop the worker and release its queues."""
+        try:
+            if self.process.is_alive():
+                if kill:
+                    self.process.terminate()
+                    self.process.join(_KILL_GRACE_S)
+                    if self.process.is_alive():  # pragma: no cover
+                        self.process.kill()
+                else:
+                    self.task_q.put(None)
+                self.process.join(_KILL_GRACE_S)
+                if self.process.is_alive():  # pragma: no cover
+                    self.process.kill()
+                    self.process.join(_KILL_GRACE_S)
+        finally:
+            self.task_q.close()
+            self.result_q.close()
+            try:
+                self.process.close()
+            except ValueError:  # pragma: no cover - still running
+                pass
+
+
+# ---------------------------------------------------------------------------
+# the supervisor loops
+# ---------------------------------------------------------------------------
+
+
+class _Supervisor:
+    def __init__(self, units: Sequence[_Unit], *, workers: int, ctx,
+                 record: Callable[[int, Any], None], max_retries: int,
+                 retry_backoff: float, unit_timeout: Optional[float],
+                 chaos: Optional[ChaosConfig], chunk_size: int,
+                 shutdown_grace: float,
+                 shutdown_event: Optional[threading.Event]):
+        self.units = list(units)
+        self.ctx = ctx
+        self.record = record
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.unit_timeout = unit_timeout
+        self.chaos_spec = asdict(chaos) if chaos is not None else None
+        self.chunk_size = max(1, chunk_size)
+        self.shutdown_grace = shutdown_grace
+        self.shutdown_event = shutdown_event
+        self.queue: deque[_Unit] = deque(self.units)
+        self.retry_heap: list[tuple[float, int, _Unit]] = []
+        self._retry_seq = 0
+        self.completed: set[int] = set()
+        self.quarantined: set[int] = set()
+        self.report = SupervisorReport()
+        self.workers = [_Worker(ctx, self.chaos_spec)
+                        for _ in range(workers)]
+
+    # -- result handling ----------------------------------------------------
+
+    def _drain(self, worker: _Worker) -> bool:
+        """Consume every queued result message of one worker."""
+        progressed = False
+        while True:
+            try:
+                if worker.result_q.empty():
+                    return progressed
+                message = worker.result_q.get()
+            except Exception as exc:
+                # A worker killed mid-write can leave a torn pickle in
+                # its private pipe; poison the stream, not the campaign.
+                self._fail_worker(worker, "CorruptResultStream",
+                                  f"unreadable worker result: {exc!r}")
+                return True
+            progressed = True
+            kind = message[0]
+            if not worker.batch:
+                continue   # stale message for an already-handled unit
+            unit = worker.batch.popleft()
+            worker.last_progress = time.monotonic()
+            if kind == "ok":
+                _, index, _attempt, payload = message
+                if index != unit.index:   # pragma: no cover - paranoia
+                    continue
+                self.record(index, payload)
+                self.completed.add(index)
+            else:
+                _, _index, _attempt, etype, emsg, tb = message
+                self._register_failure(unit, etype, emsg, tb)
+
+    def _register_failure(self, unit: _Unit, error_type: str,
+                          message: str, tb: Optional[str]) -> None:
+        unit.log.append({"attempt": unit.attempt,
+                         "error_type": error_type, "message": message})
+        if unit.attempt >= self.max_retries:
+            self.report.failures.append(
+                unit.failure(error_type, message, tb))
+            self.quarantined.add(unit.index)
+            return
+        delay = self.retry_backoff * (2 ** unit.attempt)
+        unit.attempt += 1
+        self.report.retries += 1
+        self._retry_seq += 1
+        heapq.heappush(self.retry_heap,
+                       (time.monotonic() + delay, self._retry_seq, unit))
+
+    def _fail_worker(self, worker: _Worker, error_type: str,
+                     message: str) -> None:
+        """Charge the running unit, requeue the rest, respawn."""
+        if worker.batch:
+            victim = worker.batch.popleft()
+            requeued = list(worker.batch)
+            worker.batch.clear()
+            self.queue.extendleft(reversed(requeued))
+            self._register_failure(victim, error_type, message, None)
+        self.report.worker_deaths += 1
+        worker.shutdown(kill=True)
+        self.workers[self.workers.index(worker)] = _Worker(
+            self.ctx, self.chaos_spec)
+
+    # -- main loop ----------------------------------------------------------
+
+    def _tick(self) -> bool:
+        """One supervision pass; returns True when anything progressed."""
+        progressed = False
+        now = time.monotonic()
+        while self.retry_heap and self.retry_heap[0][0] <= now:
+            # retries jump the queue so a flaky unit converges quickly
+            self.queue.appendleft(heapq.heappop(self.retry_heap)[2])
+        for worker in list(self.workers):
+            progressed |= self._drain(worker)
+        for worker in list(self.workers):
+            if worker not in self.workers:
+                continue   # already replaced this tick
+            if not worker.process.is_alive():
+                # late results first: death must not eat queued successes
+                self._drain(worker)
+                exitcode = worker.process.exitcode
+                self._fail_worker(
+                    worker, "WorkerDied",
+                    f"worker exited with code {exitcode} mid-unit")
+                progressed = True
+            elif (self.unit_timeout is not None and worker.batch
+                  and now - worker.last_progress > self.unit_timeout):
+                self.report.timeouts += 1
+                victim = worker.batch[0]
+                victim_msg = (
+                    f"unit exceeded REPRO_UNIT_TIMEOUT="
+                    f"{self.unit_timeout}s wall-clock "
+                    f"(attempt {victim.attempt})")
+                self._fail_worker(worker, "UnitTimeout", victim_msg)
+                progressed = True
+        for worker in self.workers:
+            if not worker.batch and self.queue:
+                batch = [self.queue.popleft()
+                         for _ in range(min(self.chunk_size,
+                                            len(self.queue)))]
+                worker.dispatch(batch)
+                progressed = True
+        return progressed
+
+    def _shutdown_requested(self) -> bool:
+        return (self.shutdown_event is not None
+                and self.shutdown_event.is_set())
+
+    def _drain_grace(self) -> None:
+        """Give in-flight units a grace window; then stop dispatching."""
+        deadline = time.monotonic() + self.shutdown_grace
+        while (any(worker.batch for worker in self.workers)
+               and time.monotonic() < deadline):
+            progressed = False
+            for worker in list(self.workers):
+                progressed |= self._drain(worker)
+                if (worker in self.workers
+                        and not worker.process.is_alive()
+                        and worker.batch):
+                    # a death during drain: requeue, do not respawn
+                    self.queue.extend(worker.batch)
+                    worker.batch.clear()
+            if not progressed:
+                time.sleep(_POLL_S)
+
+    def run(self) -> SupervisorReport:
+        total = len(self.units)
+        try:
+            while len(self.completed) + len(self.quarantined) < total:
+                if self._shutdown_requested():
+                    self.report.interrupted = True
+                    self._drain_grace()
+                    break
+                if not self._tick():
+                    time.sleep(_POLL_S)
+        finally:
+            for worker in self.workers:
+                worker.shutdown(kill=self.report.interrupted)
+        self.report.outstanding = sorted(
+            unit.index for unit in self.units
+            if unit.index not in self.completed
+            and unit.index not in self.quarantined)
+        return self.report
+
+
+def run_supervised(units: Sequence[tuple], *, workers: int, ctx,
+                   record: Callable[[int, Any], None],
+                   max_retries: int = 0, retry_backoff: float = 0.0,
+                   unit_timeout: Optional[float] = None,
+                   chaos: Optional[ChaosConfig] = None,
+                   chunk_size: int = 1, shutdown_grace: float = 5.0,
+                   shutdown_event: Optional[threading.Event] = None,
+                   ) -> SupervisorReport:
+    """Supervise ``units`` (``(index, fn_ref, spec, rng_seed, digest)``
+    tuples) across ``workers`` processes; ``record(index, payload)`` is
+    invoked for every success, as results arrive."""
+    wrapped = [_Unit(*item) for item in units]
+    supervisor = _Supervisor(
+        wrapped, workers=workers, ctx=ctx, record=record,
+        max_retries=max_retries, retry_backoff=retry_backoff,
+        unit_timeout=unit_timeout, chaos=chaos, chunk_size=chunk_size,
+        shutdown_grace=shutdown_grace, shutdown_event=shutdown_event)
+    return supervisor.run()
+
+
+def run_serial(units: Sequence[tuple], *,
+               record: Callable[[int, Any], None],
+               max_retries: int = 0, retry_backoff: float = 0.0,
+               shutdown_event: Optional[threading.Event] = None,
+               ) -> SupervisorReport:
+    """The in-process path: same retry/quarantine/shutdown semantics,
+    no worker processes (so no timeouts and no chaos injection)."""
+    report = SupervisorReport()
+    items = [_Unit(*item) for item in units]
+    for position, unit in enumerate(items):
+        if shutdown_event is not None and shutdown_event.is_set():
+            report.interrupted = True
+            report.outstanding = [u.index for u in items[position:]]
+            break
+        while True:
+            try:
+                payload = run_attempt(unit.fn_ref, unit.spec,
+                                      unit.rng_seed, unit.attempt, None)
+            except Exception as exc:
+                unit.log.append({"attempt": unit.attempt,
+                                 "error_type": type(exc).__name__,
+                                 "message": str(exc)})
+                if unit.attempt >= max_retries:
+                    report.failures.append(unit.failure(
+                        type(exc).__name__, str(exc),
+                        traceback_mod.format_exc()))
+                    break
+                unit.attempt += 1
+                report.retries += 1
+                if retry_backoff:
+                    time.sleep(retry_backoff * (2 ** (unit.attempt - 1)))
+            else:
+                record(unit.index, payload)
+                break
+    return report

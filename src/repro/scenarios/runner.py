@@ -126,12 +126,13 @@ def _latency_options(scenario: Scenario, seed: int) -> dict:
 
 
 def _run_latency(scenario: Scenario, seed: int, workers, cache,
-                 ) -> tuple[dict, CampaignStats]:
+                 campaign_kw) -> tuple[dict, CampaignStats]:
     profiles = scenario.profiles()
     options = _latency_options(scenario, seed)
     groups = {p.name: _fig7_specs(p, **options) for p in profiles}
     sliced, stats = run_grouped_campaign(
-        _fig7_unit, groups, seed=seed, workers=workers, cache=cache)
+        _fig7_unit, groups, seed=seed, workers=workers, cache=cache,
+        **campaign_kw)
     workloads = []
     for profile in profiles:
         merged = merge_latency_units(profile.name, sliced[profile.name])
@@ -148,27 +149,27 @@ def _run_latency(scenario: Scenario, seed: int, workers, cache,
 
 
 def _run_slowdown(scenario: Scenario, seed: int, workers, cache,
-                  ) -> tuple[dict, CampaignStats]:
+                  campaign_kw) -> tuple[dict, CampaignStats]:
     config = (SoCConfig(num_cores=scenario.cores)
               if scenario.cores is not None else None)
     specs = _suite_specs(scenario.profiles(),
                          scenario.target_instructions, config)
     run = run_campaign(_fig4_unit, specs, seed=seed, workers=workers,
-                       cache=cache)
+                       cache=cache, **campaign_kw)
     return {"kind": "slowdown", "rows": run.results}, run.stats
 
 
 def _run_modes(scenario: Scenario, seed: int, workers, cache,
-               ) -> tuple[dict, CampaignStats]:
+               campaign_kw) -> tuple[dict, CampaignStats]:
     specs = _suite_specs(scenario.profiles(),
                          scenario.target_instructions, None)
     run = run_campaign(_fig6_unit, specs, seed=seed, workers=workers,
-                       cache=cache)
+                       cache=cache, **campaign_kw)
     return {"kind": "modes", "rows": run.results}, run.stats
 
 
 def _run_sched(scenario: Scenario, seed: int, workers, cache,
-               ) -> tuple[dict, CampaignStats]:
+               campaign_kw) -> tuple[dict, CampaignStats]:
     grid = scenario.sched
     specs = _fig5_batch_specs(
         m=grid.m, n=grid.n, alpha=grid.alpha, beta=grid.beta,
@@ -176,7 +177,7 @@ def _run_sched(scenario: Scenario, seed: int, workers, cache,
         sets_per_point=grid.sets_per_point, seed=seed,
         schemes=grid.schemes)
     run = run_campaign(_fig5_batch_unit, specs, seed=seed,
-                       workers=workers, cache=cache)
+                       workers=workers, cache=cache, **campaign_kw)
     points = _aggregate_batch_points(specs, run.results,
                                      grid.utilizations,
                                      grid.sets_per_point, grid.schemes)
@@ -202,7 +203,10 @@ def run_scenario(scenario: Scenario, *,
                  seed: Optional[int] = None,
                  backend: Optional[str] = None,
                  soc_sched: Optional[str] = None,
-                 engine: Optional[str] = None) -> ScenarioResult:
+                 engine: Optional[str] = None,
+                 unit_timeout: Optional[float] = None,
+                 max_retries: Optional[int] = None,
+                 strict: Optional[bool] = None) -> ScenarioResult:
     """Run one scenario end-to-end through the campaign engine.
 
     ``seed`` overrides the scenario's built-in seed (the catalog tables
@@ -213,13 +217,18 @@ def run_scenario(scenario: Scenario, *,
     ``soc_sched`` the co-simulation scheduler for co-sim scenarios
     (default ``REPRO_SOC_SCHED`` / heap), and ``engine`` the core
     execution engine tier (default ``REPRO_CORE_ENGINE`` / decoded).
-    Results are independent of all five — backend, scheduler and
-    engine are execution knobs, never part of scenario identity.
+    ``unit_timeout``/``max_retries``/``strict`` are the campaign
+    fault-tolerance knobs (defaults ``REPRO_UNIT_TIMEOUT`` /
+    ``REPRO_MAX_RETRIES`` / ``REPRO_CAMPAIGN_STRICT``).  Results are
+    independent of every one of them — they are execution knobs, never
+    part of scenario identity.
     """
     run_seed = scenario.seed if seed is None else seed
+    campaign_kw = {"unit_timeout": unit_timeout,
+                   "max_retries": max_retries, "strict": strict}
     with backend_override(backend), soc_sched_override(soc_sched), \
             engine_override(engine):
         payload, stats = _RUNNERS[scenario.kind](
-            scenario, run_seed, workers, cache)
+            scenario, run_seed, workers, cache, campaign_kw)
     return ScenarioResult(scenario=scenario, seed=run_seed,
                           payload=payload, stats=stats)

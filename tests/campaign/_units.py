@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import os
 import random
+import time
 from pathlib import Path
 
 
@@ -46,3 +47,43 @@ def failing_unit(spec: dict, rng_seed: int) -> int:
     if spec["i"] == spec["fail_at"]:
         raise RuntimeError(f"unit {spec['i']} exploded")
     return spec["i"]
+
+
+def slow_unit(spec: dict, rng_seed: int) -> list[float]:
+    """Sleeps, then draws — the unit shape for interrupt/race tests."""
+    time.sleep(spec.get("s", 0.0))
+    rng = random.Random(rng_seed)
+    return [rng.random() for _ in range(spec.get("n", 3))]
+
+
+def flaky_once_unit(spec: dict, rng_seed: int) -> list[float]:
+    """Fails until its marker file exists (first attempt plants it), so
+    a retry — or a pre-planted marker — succeeds deterministically."""
+    marker = Path(spec["dir"]) / f"flaky-{spec['i']}"
+    if not marker.exists():
+        marker.write_text("attempted\n")
+        raise RuntimeError(f"unit {spec['i']} first-attempt failure")
+    rng = random.Random(rng_seed)
+    return [rng.random() for _ in range(spec["n"])]
+
+
+def kill_once_unit(spec: dict, rng_seed: int) -> list[float]:
+    """Hard-kills its worker process until the marker exists — the
+    OOM-killer/segfault stand-in for dead-worker detection tests."""
+    marker = Path(spec["dir"]) / f"kill-{spec['i']}"
+    if not marker.exists():
+        marker.write_text("attempted\n")
+        os._exit(9)
+    rng = random.Random(rng_seed)
+    return [rng.random() for _ in range(spec["n"])]
+
+
+def hang_once_unit(spec: dict, rng_seed: int) -> list[float]:
+    """Hangs (far beyond any test timeout) until the marker exists —
+    exercises per-unit wall-clock timeouts plus retry."""
+    marker = Path(spec["dir"]) / f"hang-{spec['i']}"
+    if not marker.exists():
+        marker.write_text("attempted\n")
+        time.sleep(120.0)
+    rng = random.Random(rng_seed)
+    return [rng.random() for _ in range(spec["n"])]

@@ -1,0 +1,75 @@
+"""Chaos harness for the campaign supervisor (test-only helpers).
+
+The paper's thesis is architectures that keep computing correctly
+while cores fault; this harness applies the same discipline to our own
+campaign engine.  It arms the ``REPRO_CHAOS`` injector (worker kills
+mid-unit, injected exceptions, hangs — all deterministic functions of
+``(chaos seed, unit spawn seed, attempt)``) and, separately, corrupts
+the on-disk result cache *while a campaign is writing it*.  The tests
+in ``test_chaos.py`` then assert the differential oracle every other
+knob in this repo answers to: every surviving result must be
+bit-identical to a clean ``workers=1`` run.
+
+Nothing here is imported by library code — ``REPRO_CHAOS`` is parsed
+by the engine but only ever injected inside worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from pathlib import Path
+
+
+def chaos_json(*, seed: int = 0, kill: float = 0.0, exc: float = 0.0,
+               hang: float = 0.0, hang_s: float = 60.0,
+               attempts: int = 2) -> str:
+    """A ``REPRO_CHAOS`` value.  ``attempts`` bounds which attempt
+    numbers are eligible for injection (later attempts run clean), so a
+    finite ``max_retries`` budget provably converges."""
+    return json.dumps({"seed": seed, "kill": kill, "exc": exc,
+                       "hang": hang, "hang_s": hang_s,
+                       "attempts": attempts})
+
+
+class CacheCorruptor(threading.Thread):
+    """Background thread that batters a live cache directory.
+
+    Every ``interval_s`` it picks one cache entry (seeded RNG — the
+    damage pattern replays) and either truncates it mid-JSON or
+    rewrites it as a well-formed envelope whose checksum is wrong: the
+    two corruption shapes the checksum envelope must catch.  Paths it
+    touched are recorded in ``corrupted``.
+    """
+
+    def __init__(self, root: Path | str, *, seed: int = 0,
+                 interval_s: float = 0.02):
+        super().__init__(daemon=True)
+        self.root = Path(root)
+        self.rng = random.Random(seed)
+        self.interval_s = interval_s
+        self.corrupted: list[str] = []
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_event.is_set():
+            entries = sorted(self.root.glob("??/*.json"))
+            if entries:
+                victim = self.rng.choice(entries)
+                try:
+                    if self.rng.random() < 0.5:
+                        with open(victim, "r+") as fh:
+                            fh.truncate(self.rng.randrange(1, 16))
+                    else:
+                        victim.write_text(
+                            '{"v":1,"sha256":"' + "0" * 64
+                            + '","payload":[1,2,3]}')
+                    self.corrupted.append(victim.name)
+                except OSError:
+                    pass   # lost a race with a reader/writer: fine
+            self._stop_event.wait(self.interval_s)
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self.join(timeout=10.0)

@@ -1,0 +1,130 @@
+"""Chaos differential gate: campaigns under injected faults must be
+bit-identical to a clean ``workers=1`` oracle.
+
+Every test arms ``REPRO_CHAOS`` (kills / exceptions / hangs drawn
+deterministically per unit+attempt inside the worker processes) and/or
+the :class:`chaos.CacheCorruptor`, runs the same grid, and asserts the
+surviving results equal the oracle exactly — the strongest statement
+the supervisor can make: faults cost wall-clock, never correctness.
+"""
+
+import os
+
+import pytest
+
+from repro.campaign import CampaignError, ResultCache, run_campaign
+
+from . import _units
+from .chaos import CacheCorruptor, chaos_json
+
+SPECS = [{"n": 4, "i": i} for i in range(8)]
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    """The clean serial run every chaotic run must reproduce."""
+    armed = os.environ.pop("REPRO_CHAOS", None)
+    try:
+        run = run_campaign(_units.rng_unit, SPECS, seed=SEED, workers=1,
+                           cache=None)
+    finally:
+        if armed is not None:
+            os.environ["REPRO_CHAOS"] = armed
+    assert run.stats.computed == len(SPECS)
+    return run.results
+
+
+class TestChaosDifferential:
+    def test_injected_exceptions_retry_to_oracle(self, oracle,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", chaos_json(
+            seed=1, exc=0.8, attempts=2))
+        run = run_campaign(_units.rng_unit, SPECS, seed=SEED, workers=2,
+                           cache=None, max_retries=4, retry_backoff=0.0)
+        assert run.results == oracle
+        assert run.failures == []
+        assert run.stats.retried > 0
+
+    def test_worker_kills_respawn_to_oracle(self, oracle, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", chaos_json(
+            seed=2, kill=0.6, attempts=1))
+        run = run_campaign(_units.rng_unit, SPECS, seed=SEED, workers=2,
+                           cache=None, max_retries=3, retry_backoff=0.0)
+        assert run.results == oracle
+        assert run.failures == []
+        assert run.stats.worker_respawns >= 1
+
+    def test_hangs_time_out_and_retry_to_oracle(self, oracle,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", chaos_json(
+            seed=3, hang=0.5, hang_s=30.0, attempts=1))
+        run = run_campaign(_units.rng_unit, SPECS, seed=SEED, workers=2,
+                           cache=None, unit_timeout=0.5, max_retries=2,
+                           retry_backoff=0.0)
+        assert run.results == oracle
+        assert run.failures == []
+        assert run.stats.timeouts >= 1
+
+    def test_combined_storm_with_live_cache_corruption(self, oracle,
+                                                       monkeypatch,
+                                                       tmp_path):
+        """The full storm: kills + exceptions + hangs while a background
+        thread corrupts the cache the campaign is writing — then a
+        chaos-free replay from the battered cache must *still* match
+        the oracle (corrupt entries quarantined and recomputed, never
+        served)."""
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CHAOS", chaos_json(
+            seed=4, kill=0.2, exc=0.2, hang=0.1, hang_s=30.0,
+            attempts=2))
+        corruptor = CacheCorruptor(cache_dir, seed=4)
+        corruptor.start()
+        try:
+            stormy = run_campaign(
+                _units.rng_unit, SPECS, seed=SEED, workers=2,
+                cache=cache_dir, unit_timeout=2.0, max_retries=5,
+                retry_backoff=0.0)
+        finally:
+            corruptor.stop()
+        assert stormy.results == oracle
+        assert stormy.failures == []
+
+        monkeypatch.delenv("REPRO_CHAOS")
+        replay = run_campaign(_units.rng_unit, SPECS, seed=SEED,
+                              workers=1, cache=cache_dir)
+        assert replay.results == oracle
+        assert replay.stats.cached + replay.stats.computed == len(SPECS)
+        if corruptor.corrupted:
+            # damaged entries were recomputed, and their corpses kept
+            assert replay.stats.computed > 0
+            cache = ResultCache(cache_dir)
+            assert len(list(cache.quarantine_dir.iterdir())) > 0
+        # after the replay the cache is fully healed
+        healed = run_campaign(_units.rng_unit, SPECS, seed=SEED,
+                              workers=1, cache=cache_dir)
+        assert healed.results == oracle
+        assert healed.stats.computed == 0
+
+    def test_every_attempt_poisoned_quarantines(self, oracle,
+                                                monkeypatch):
+        """Unbounded injection (every attempt fails) exhausts the retry
+        budget: units quarantine with a full attempt log instead of
+        looping forever."""
+        monkeypatch.setenv("REPRO_CHAOS", chaos_json(
+            seed=5, exc=1.0, attempts=99))
+        run = run_campaign(_units.rng_unit, SPECS[:3], seed=SEED,
+                           workers=2, cache=None, max_retries=1,
+                           retry_backoff=0.0)
+        assert run.results == [None, None, None]
+        assert run.stats.quarantined == 3
+        for failure in run.failures:
+            assert failure.attempts == 2   # max_retries + 1
+            assert failure.error_type == "ChaosError"
+            assert len(failure.attempt_log) == 2
+
+        with pytest.raises(CampaignError) as excinfo:
+            run_campaign(_units.rng_unit, SPECS[:3], seed=SEED,
+                         workers=2, cache=None, max_retries=1,
+                         retry_backoff=0.0, strict=True)
+        assert "3 unit(s) quarantined" in str(excinfo.value)

@@ -1,0 +1,68 @@
+"""Two independent campaign processes racing one cache root.
+
+The cache's claims — atomic renames, idempotent duplicate writes,
+torn-read detection — only matter under real concurrency, so this test
+makes it real: two OS processes each run the *same* grid against the
+*same* cache directory at the same time, with their own worker pools.
+Both must finish with oracle-identical results, and the shared cache
+must come out exactly consistent (one entry per unit, fsck clean)."""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.campaign import ResultCache, run_campaign
+
+from . import _units
+
+SPECS = [{"n": 3, "i": i, "s": 0.05} for i in range(8)]
+SEED = 3
+
+
+def _race(cache_dir, expected):
+    """Child body (fork-started): run the campaign, report via exit
+    code.  ``os._exit`` skips the parent's pytest teardown machinery."""
+    try:
+        run = run_campaign(_units.slow_unit, SPECS, seed=SEED, workers=2,
+                           cache=cache_dir)
+        ok = run.results == expected
+    except BaseException:
+        ok = False
+    os._exit(0 if ok else 1)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="needs fork start method")
+def test_concurrent_campaigns_share_a_cache_root(tmp_path):
+    cache_dir = tmp_path / "cache"
+    oracle = run_campaign(_units.slow_unit, SPECS, seed=SEED, workers=1,
+                          cache=None)
+
+    ctx = multiprocessing.get_context("fork")
+    racers = [ctx.Process(target=_race, args=(cache_dir, oracle.results))
+              for _ in range(2)]
+    for proc in racers:
+        proc.start()
+    for proc in racers:
+        proc.join(timeout=120.0)
+    exit_codes = [proc.exitcode for proc in racers]
+    for proc in racers:
+        proc.close()
+    assert exit_codes == [0, 0]
+
+    # the shared root is exactly consistent: one entry per unit, every
+    # envelope valid, nothing quarantined by the race
+    cache = ResultCache(cache_dir)
+    assert len(cache) == len(SPECS)
+    report = cache.fsck()
+    assert report["ok"] == len(SPECS)
+    assert report["quarantined"] == []
+
+    # and a replay serves everything from cache, bit-identical
+    replay = run_campaign(_units.slow_unit, SPECS, seed=SEED, workers=1,
+                          cache=cache_dir)
+    assert replay.stats.cached == len(SPECS)
+    assert replay.stats.computed == 0
+    assert replay.results == oracle.results

@@ -65,7 +65,9 @@ class TestCache:
         path.parent.mkdir(parents=True)
         path.write_text("{truncated")
         assert cache.get("ef" * 32) is None
-        assert not path.exists()   # removed so a re-put can land
+        assert not path.exists()   # moved aside so a re-put can land
+        # ... but never destroyed: the corpse lands in quarantine
+        assert len(list(cache.quarantine_dir.iterdir())) == 1
 
 
 class TestRunCampaign:
@@ -138,19 +140,42 @@ class TestCacheIntegration:
         for path in work_dir.iterdir():
             assert path.read_text() == "computed\n"
 
-    def test_partial_failure_resumes(self, tmp_path):
+    def test_partial_failure_quarantines_and_resumes(self, tmp_path):
+        """A poisoned unit degrades the campaign instead of killing it:
+        the healthy units complete (and persist), the bad one lands in
+        ``failures`` with its traceback, and a re-run recomputes only
+        the quarantined unit."""
         cache_dir = tmp_path / "cache"
         specs = [{"i": i, "fail_at": 3} for i in range(5)]
-        with pytest.raises(RuntimeError):
-            run_campaign(_units.failing_unit, specs, workers=1,
-                         cache=cache_dir)
-        # units before the failure were persisted...
-        healthy = [{"i": i, "fail_at": 3} for i in (0, 1, 2)]
-        resumed = run_campaign(_units.failing_unit, healthy, workers=1,
+        run = run_campaign(_units.failing_unit, specs, workers=1,
+                           cache=cache_dir)
+        assert [run.results[i] for i in (0, 1, 2, 4)] == [0, 1, 2, 4]
+        assert run.results[3] is None
+        assert run.stats.quarantined == 1
+        [failure] = run.failures
+        assert failure.index == 3
+        assert failure.error_type == "RuntimeError"
+        assert "unit 3 exploded" in failure.message
+        assert "failing_unit" in failure.traceback
+        assert failure.attempts == 1   # default: no retries
+
+        # healthy units were persisted: resume recomputes only unit 3
+        resumed = run_campaign(_units.failing_unit, specs, workers=1,
                                cache=cache_dir)
-        assert resumed.stats.cached == 3
+        assert resumed.stats.cached == 4
         assert resumed.stats.computed == 0
-        assert resumed.results == [0, 1, 2]
+        assert resumed.stats.quarantined == 1
+
+    def test_strict_mode_raises_with_summary(self, tmp_path):
+        specs = [{"i": i, "fail_at": 1} for i in range(3)]
+        with pytest.raises(CampaignError) as excinfo:
+            run_campaign(_units.failing_unit, specs, workers=1,
+                         cache=None, strict=True)
+        assert "1 unit(s) quarantined" in str(excinfo.value)
+        assert excinfo.value.failures[0].index == 1
+        # the partial run rides on the exception: healthy results intact
+        assert excinfo.value.run.results[0] == 0
+        assert excinfo.value.run.results[2] == 2
 
     def test_cache_disabled_by_none(self, tmp_path):
         specs = [{"value": 1}]

@@ -1,0 +1,220 @@
+"""Supervisor behaviour tests: retries, timeouts, dead workers,
+chunking and graceful shutdown with resumable manifests.
+
+The chaos differential gate (``test_chaos.py``) proves survival under
+random storms; these tests pin the individual mechanisms with
+deterministic, marker-file-driven faults.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignInterrupted,
+    ResultCache,
+    campaign_manifest_key,
+    run_campaign,
+)
+
+from . import _units
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _specs(work_dir, n=5, draws=4):
+    return [{"n": draws, "i": i, "dir": str(work_dir)} for i in range(n)]
+
+
+class TestRetryIdentity:
+    def test_retried_run_bit_identical_to_clean_run(self, tmp_path):
+        """The same spawn seed is used on every attempt, so a campaign
+        that needed retries equals one that never failed at all."""
+        specs = _specs(tmp_path)
+        retried = run_campaign(_units.flaky_once_unit, specs, seed=9,
+                               workers=2, cache=None, max_retries=1,
+                               retry_backoff=0.0)
+        assert retried.stats.retried == len(specs)
+        assert retried.failures == []
+        # markers now exist: this run succeeds on every first attempt
+        clean = run_campaign(_units.flaky_once_unit, specs, seed=9,
+                             workers=2, cache=None)
+        assert retried.results == clean.results
+
+    def test_serial_path_retries_too(self, tmp_path):
+        specs = _specs(tmp_path, n=3)
+        run = run_campaign(_units.flaky_once_unit, specs, seed=9,
+                           workers=1, cache=None, max_retries=2,
+                           retry_backoff=0.0)
+        assert run.failures == []
+        assert run.stats.retried == 3
+
+
+class TestDeadWorkers:
+    def test_killed_worker_respawns_and_unit_retries(self, tmp_path):
+        specs = _specs(tmp_path, n=4)
+        run = run_campaign(_units.kill_once_unit, specs, seed=9,
+                           workers=2, cache=None, max_retries=1,
+                           retry_backoff=0.0)
+        assert run.failures == []
+        assert run.stats.worker_respawns >= 1
+        clean = run_campaign(_units.kill_once_unit, specs, seed=9,
+                             workers=2, cache=None)
+        assert run.results == clean.results
+
+
+class TestTimeouts:
+    def test_hung_unit_times_out_and_retries(self, tmp_path):
+        specs = _specs(tmp_path, n=3)
+        run = run_campaign(_units.hang_once_unit, specs, seed=9,
+                           workers=2, cache=None, unit_timeout=0.5,
+                           max_retries=1, retry_backoff=0.0)
+        assert run.failures == []
+        assert run.stats.timeouts >= 1
+        clean = run_campaign(_units.hang_once_unit, specs, seed=9,
+                             workers=2, cache=None)
+        assert run.results == clean.results
+
+    def test_workers_1_with_timeout_uses_a_process(self, tmp_path):
+        """Preemption needs a worker process even at workers=1: a hung
+        unit must still be killable."""
+        specs = _specs(tmp_path, n=2)
+        run = run_campaign(_units.hang_once_unit, specs, seed=9,
+                           workers=1, cache=None, unit_timeout=0.5,
+                           max_retries=1, retry_backoff=0.0)
+        assert run.failures == []
+        assert run.stats.timeouts >= 1
+
+
+class TestChunking:
+    def test_fault_knobs_force_per_unit_dispatch(self):
+        specs = [{"n": 2, "i": i} for i in range(6)]
+        run = run_campaign(_units.rng_unit, specs, workers=2, cache=None,
+                           chunk_size=3, unit_timeout=30.0)
+        assert run.stats.chunk_size == 1
+        run = run_campaign(_units.rng_unit, specs, workers=2, cache=None,
+                           chunk_size=3, max_retries=2)
+        assert run.stats.chunk_size == 1
+
+    def test_chunked_dispatch_matches_serial(self):
+        specs = [{"n": 3, "i": i} for i in range(9)]
+        serial = run_campaign(_units.rng_unit, specs, seed=4, workers=1,
+                              cache=None)
+        chunked = run_campaign(_units.rng_unit, specs, seed=4, workers=2,
+                               cache=None, chunk_size=3)
+        assert chunked.stats.chunk_size == 3
+        assert chunked.results == serial.results
+
+
+class TestGracefulShutdown:
+    def test_sigint_serial_writes_manifest_and_resumes(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        specs = [{"n": 3, "i": i, "s": 0.1} for i in range(12)]
+        timer = threading.Timer(
+            0.35, os.kill, (os.getpid(), signal.SIGINT))
+        timer.start()
+        try:
+            with pytest.raises(CampaignInterrupted) as excinfo:
+                run_campaign(_units.slow_unit, specs, seed=2, workers=1,
+                             cache=cache_dir)
+        finally:
+            timer.cancel()
+
+        manifest_path = excinfo.value.manifest
+        assert manifest_path is not None
+        store = ResultCache(cache_dir)
+        key = campaign_manifest_key(
+            "tests.campaign._units:slow_unit", "1", 2, specs)
+        doc = store.get_manifest(key)
+        assert doc is not None
+        assert str(store.manifest_path(key)) == manifest_path
+        assert doc["interrupted"] is True
+        assert doc["total"] == len(specs)
+        n_done = len(doc["completed"])
+        assert 0 < n_done < len(specs)
+        assert len(doc["outstanding"]) == len(specs) - n_done
+        # completed units really are in the cache
+        assert all(d in store for d in doc["completed"])
+
+        # resume: completed units replay from cache, zero recompute
+        resumed = run_campaign(_units.slow_unit, specs, seed=2,
+                               workers=1, cache=cache_dir)
+        assert resumed.stats.cached == n_done
+        assert resumed.stats.computed == len(specs) - n_done
+        oracle = run_campaign(_units.slow_unit, specs, seed=2, workers=1,
+                              cache=None)
+        assert resumed.results == oracle.results
+        # a clean completion clears the manifest
+        assert store.get_manifest(key) is None
+
+    def test_sigterm_parallel_campaign_resumes_identically(self,
+                                                           tmp_path):
+        """Kill a workers=2 campaign from outside with SIGTERM, then
+        resume it in this process: the final run must be bit-identical
+        to an uninterrupted oracle with zero recompute of completed
+        units."""
+        cache_dir = tmp_path / "cache"
+        specs = [{"n": 3, "i": i, "s": 0.3} for i in range(10)]
+        script = (
+            "import json, sys\n"
+            "from repro.campaign import CampaignInterrupted, "
+            "run_campaign\n"
+            "from tests.campaign import _units\n"
+            "specs = json.loads(sys.argv[1])\n"
+            "try:\n"
+            "    run_campaign(_units.slow_unit, specs, seed=2, "
+            "workers=2, cache=sys.argv[2])\n"
+            "except CampaignInterrupted as exc:\n"
+            "    print(exc.manifest)\n"
+            "    sys.exit(42)\n"
+        )
+        import json
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{REPO_ROOT}:{REPO_ROOT / 'src'}"
+        env.pop("REPRO_CHAOS", None)
+        child = subprocess.Popen(
+            [sys.executable, "-c", script, json.dumps(specs),
+             str(cache_dir)],
+            env=env, cwd=REPO_ROOT, stdout=subprocess.PIPE, text=True)
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if len(list(cache_dir.glob("??/*.json"))) >= 2:
+                    break
+                if child.poll() is not None:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("child campaign made no progress")
+            child.send_signal(signal.SIGTERM)
+            out, _ = child.communicate(timeout=60.0)
+        finally:
+            if child.poll() is None:   # pragma: no cover
+                child.kill()
+                child.communicate()
+        assert child.returncode == 42, out
+
+        store = ResultCache(cache_dir)
+        key = campaign_manifest_key(
+            "tests.campaign._units:slow_unit", "1", 2, specs)
+        doc = store.get_manifest(key)
+        assert doc is not None and doc["interrupted"] is True
+        assert out.strip() == str(store.manifest_path(key))
+        n_done = len(doc["completed"])
+        assert n_done >= 2
+        assert all(d in store for d in doc["completed"])
+
+        resumed = run_campaign(_units.slow_unit, specs, seed=2,
+                               workers=2, cache=cache_dir)
+        assert resumed.stats.cached == n_done
+        assert resumed.stats.computed == len(specs) - n_done
+        oracle = run_campaign(_units.slow_unit, specs, seed=2, workers=1,
+                              cache=None)
+        assert resumed.results == oracle.results
+        assert store.get_manifest(key) is None

@@ -56,6 +56,50 @@ class TestRun:
         assert (tmp_path / "mixed-criticality.json").exists()
 
 
+class TestCacheMaintenance:
+    def test_fsck_clean_cache_exits_zero(self, tmp_path, capsys):
+        from repro.campaign import ResultCache
+        cache_dir = tmp_path / "cache"
+        ResultCache(cache_dir).put("ab" * 32, {"x": 1})
+        rc = main(["cache", "fsck", "--cache-dir", str(cache_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert '"ok": 1' in out
+
+    def test_fsck_corrupt_cache_exits_one(self, tmp_path, capsys):
+        from repro.campaign import ResultCache
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+        bad = cache.path_for("cd" * 32)
+        bad.parent.mkdir(parents=True)
+        bad.write_text("{nope")
+        rc = main(["cache", "fsck", "--cache-dir", str(cache_dir)])
+        assert rc == 1
+        assert not bad.exists()
+        assert len(list(cache.quarantine_dir.iterdir())) == 1
+
+    def test_gc_sweeps_aged_tmp(self, tmp_path, capsys):
+        import os
+        import time
+        cache_dir = tmp_path / "cache"
+        shard = cache_dir / "ab"
+        shard.mkdir(parents=True)
+        leaked = shard / f"{'ab' * 32}.tmp.12345"
+        leaked.write_text("leaked")
+        old = time.time() - 7200
+        os.utime(leaked, (old, old))
+        rc = main(["cache", "gc", "--cache-dir", str(cache_dir)])
+        assert rc == 0
+        assert not leaked.exists()
+        assert "tmp_removed" in capsys.readouterr().out
+
+    def test_run_with_fault_knobs(self, tmp_path, capsys):
+        rc = main(["run", "--scenario", "mixed-criticality", "--sets",
+                   "4", "--no-cache", "--dry-run", "--max-retries", "2",
+                   "--strict", "--report-dir", str(tmp_path)])
+        assert rc == 0
+
+
 class TestReportGolden:
     def test_no_saved_reports(self, tmp_path, capsys):
         assert main(["report", "--report-dir", str(tmp_path)]) == 1
