@@ -7,16 +7,15 @@ whole suite finishes in minutes; the *shape* assertions encode what the
 reproduction is expected to preserve (see EXPERIMENTS.md).
 """
 
-import os
-
 import pytest
 
+from repro.runtime import knobs
+
 #: Instructions per workload measurement (paper: full benchmark runs).
-BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS",
-                                        "25000"))
+BENCH_INSTRUCTIONS = knobs.value("bench_instructions")
 
 #: Task sets per utilisation point in Fig. 5 (paper: hundreds).
-BENCH_SETS_PER_POINT = int(os.environ.get("REPRO_BENCH_SETS", "25"))
+BENCH_SETS_PER_POINT = knobs.value("bench_sets")
 
 
 @pytest.fixture(scope="session")

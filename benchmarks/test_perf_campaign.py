@@ -10,8 +10,6 @@ single-core CI runner the bench still verifies equivalence and records
 the trajectory, it just cannot demonstrate parallel speedup.
 """
 
-import os
-
 import pytest
 
 from repro.campaign.bench import (
@@ -21,13 +19,14 @@ from repro.campaign.bench import (
     strict_enabled,
 )
 from repro.perfbench import append_record, load_trajectory
+from repro.runtime import knobs
 
 
 @pytest.fixture(scope="module")
 def campaign_record():
     return run_campaign_benchmark(
         configs=("a", "f"),
-        sets_per_point=int(os.environ.get("REPRO_BENCH_SETS", "25")),
+        sets_per_point=knobs.value("bench_sets"),
         label="benchmarks/test_perf_campaign.py")
 
 

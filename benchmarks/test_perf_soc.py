@@ -10,8 +10,6 @@ is gated behind ``REPRO_BENCH_STRICT``; the identity assertion always
 runs.
 """
 
-import os
-
 import pytest
 
 from repro.flexstep.bench import (
@@ -21,6 +19,7 @@ from repro.flexstep.bench import (
 )
 from repro.campaign.bench import strict_enabled
 from repro.perfbench import append_record, load_trajectory
+from repro.runtime import knobs
 
 #: Tier-1 slice: one single-pair point plus one 8+-core fault point.
 DEFAULT_TEST_POINTS = "fig4-dual,fig7-8core"
@@ -28,9 +27,9 @@ DEFAULT_TEST_POINTS = "fig4-dual,fig7-8core"
 
 @pytest.fixture(scope="module")
 def soc_record():
-    points = os.environ.get("REPRO_BENCH_SOC_POINTS",
-                            DEFAULT_TEST_POINTS).split(",")
-    return run_soc_benchmark(points=[p.strip() for p in points if p],
+    points = (knobs.value("bench_soc_points")
+              or tuple(DEFAULT_TEST_POINTS.split(",")))
+    return run_soc_benchmark(points=list(points),
                              label="benchmarks/test_perf_soc.py")
 
 

@@ -30,7 +30,6 @@ check always gates.
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 from pathlib import Path
 
@@ -38,6 +37,7 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro import perfbench  # noqa: E402  (needs the sys.path insert)
+from repro.runtime import knobs  # noqa: E402
 from repro.campaign import bench as campaign_bench  # noqa: E402
 from repro.flexstep import bench as soc_bench  # noqa: E402
 from repro.scenarios import bench as scenario_bench  # noqa: E402
@@ -228,7 +228,7 @@ def main(argv: list[str] | None = None) -> int:
         default="engine",
         help="which benchmark to run (default: engine)")
     parser.add_argument(
-        "--label", default=os.environ.get("REPRO_BENCH_LABEL", ""),
+        "--label", default=knobs.value("bench_label"),
         help="free-form tag stored with the record (e.g. the PR title)")
     parser.add_argument(
         "--output", default=None,

@@ -6,8 +6,10 @@ Subcommands::
     python -m repro run --scenario NAME      # run + print + save report
     python -m repro run --all                # every catalog entry
     python -m repro report [NAME ...]        # re-render saved reports
+    python -m repro report --bench           # BENCH_*.json trajectories
     python -m repro cache fsck               # verify cache envelopes
     python -m repro cache gc                 # sweep tmp/quarantine
+    python -m repro knobs                    # the runtime knob registry
 
 ``run`` executes through the campaign engine, so ``REPRO_WORKERS``
 controls the fan-out and ``REPRO_CACHE_DIR`` the result cache; results
@@ -34,6 +36,8 @@ from .campaign import (
     default_cache_dir,
 )
 from .config import CORE_ENGINE_CHOICES, SOC_SCHED_CHOICES
+from .errors import ConfigurationError
+from .runtime import knobs
 from .sched.backend import BACKEND_CHOICES
 from .scenarios import (
     CATALOG,
@@ -76,35 +80,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     cache = None if args.no_cache else "auto"
-    for name in names:
-        scenario = _scaled(get_scenario(name), args)
-        try:
-            result = run_scenario(scenario, workers=args.workers,
-                                  cache=cache, seed=args.seed,
-                                  backend=args.backend,
-                                  soc_sched=args.soc_sched,
-                                  engine=args.engine,
-                                  unit_timeout=args.unit_timeout,
-                                  max_retries=args.max_retries,
-                                  strict=args.strict or None)
-        except CampaignInterrupted as exc:
-            print(f"interrupted: {exc}", file=sys.stderr)
-            return 130
-        except CampaignError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
-        print(result.render())
-        if not args.dry_run:
-            path = result.save(args.report_dir)
-            print(f"saved {path}")
-        stats = result.stats
-        if stats.quarantined:
-            print(f"WARNING: {stats.quarantined} unit(s) quarantined "
-                  f"after {stats.max_retries} retry/retries — results "
-                  "are partial (re-run to retry, or --strict to fail)",
-                  file=sys.stderr)
-        print(f"({stats.computed} computed, {stats.cached} cached, "
-              f"{stats.workers} worker(s), {stats.seconds:.2f}s)\n")
+    # the override exports the sink via the environment, so campaign
+    # worker processes spawned below inherit it
+    with knobs.env_override("log_json", args.log_json or None):
+        for name in names:
+            scenario = _scaled(get_scenario(name), args)
+            try:
+                result = run_scenario(scenario, workers=args.workers,
+                                      cache=cache, seed=args.seed,
+                                      backend=args.backend,
+                                      soc_sched=args.soc_sched,
+                                      engine=args.engine,
+                                      unit_timeout=args.unit_timeout,
+                                      max_retries=args.max_retries,
+                                      strict=args.strict or None)
+            except CampaignInterrupted as exc:
+                print(f"interrupted: {exc}", file=sys.stderr)
+                return 130
+            except CampaignError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            print(result.render())
+            if not args.dry_run:
+                path = result.save(args.report_dir)
+                print(f"saved {path}")
+            stats = result.stats
+            if stats.quarantined:
+                print(f"WARNING: {stats.quarantined} unit(s) "
+                      f"quarantined after {stats.max_retries} "
+                      "retry/retries — results are partial (re-run to "
+                      "retry, or --strict to fail)", file=sys.stderr)
+            print(f"({stats.computed} computed, {stats.cached} cached, "
+                  f"{stats.workers} worker(s), {stats.seconds:.2f}s)\n")
     return 0
 
 
@@ -121,7 +128,25 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_knobs(args: argparse.Namespace) -> int:
+    if args.json:
+        print(json.dumps(knobs.describe(), indent=1))
+    else:
+        print(knobs.knob_table())
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.bench:
+        from .analysis.benchreport import BENCHES, render_bench_report
+        names = args.names or None
+        unknown = [n for n in (names or []) if n not in BENCHES]
+        if unknown:
+            print(f"unknown bench(es): {', '.join(unknown)}; "
+                  f"choose from {', '.join(BENCHES)}", file=sys.stderr)
+            return 2
+        print(render_bench_report(names))
+        return 0
     directory = args.report_dir or default_report_dir()
     names = args.names or saved_results(directory)
     if not names:
@@ -197,6 +222,11 @@ def main(argv: "list[str] | None" = None) -> int:
                           "gracefully)")
     run.add_argument("--dry-run", action="store_true",
                      help="print the tables without saving a report")
+    run.add_argument("--log-json", default=None, metavar="SINK",
+                     help="structured JSON-lines event sink for this "
+                          "run: 'stderr' or a file path to append "
+                          "(default REPRO_LOG_JSON or off; events "
+                          "never perturb results)")
     run.add_argument("--report-dir", default=None,
                      help="report directory (default REPRO_REPORT_DIR "
                           "or <repo>/.repro_reports)")
@@ -209,9 +239,20 @@ def main(argv: "list[str] | None" = None) -> int:
 
     report = sub.add_parser("report", help="re-render saved reports")
     report.add_argument("names", nargs="*", metavar="NAME",
-                        help="scenario names (default: all saved)")
+                        help="scenario names (default: all saved), or "
+                             "bench names with --bench")
     report.add_argument("--report-dir", default=None,
                         help="report directory to read")
+    report.add_argument("--bench", action="store_true",
+                        help="render the BENCH_*.json perf trajectories "
+                             "(speedup over PRs, regressions flagged "
+                             "against the best-known record)")
+
+    knobs_cmd = sub.add_parser(
+        "knobs", help="list every runtime knob with current value, "
+                      "source, scope and help (from the registry)")
+    knobs_cmd.add_argument("--json", action="store_true",
+                           help="machine-readable registry dump")
 
     cache = sub.add_parser(
         "cache", help="maintain the campaign result cache")
@@ -237,8 +278,16 @@ def main(argv: "list[str] | None" = None) -> int:
 
     args = parser.parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run,
-               "report": _cmd_report, "cache": _cmd_cache}[args.command]
-    return handler(args)
+               "report": _cmd_report, "cache": _cmd_cache,
+               "knobs": _cmd_knobs}[args.command]
+    try:
+        # fail fast on misspelled REPRO_* names or malformed values
+        # before any work starts
+        knobs.check_env()
+        return handler(args)
+    except ConfigurationError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ import time
 from datetime import datetime, timezone
 from typing import Sequence
 
+from ..runtime import knobs
 from ..sched.experiments import (
     DEFAULT_UTILIZATIONS,
     FIG5_CONFIGS,
@@ -41,29 +42,29 @@ from .engine import default_workers
 #: Default benchmark trajectory file, relative to the repository root.
 BENCH_FILE = "BENCH_campaign.json"
 
-_ENV_SETS = "REPRO_BENCH_CAMPAIGN_SETS"
-_ENV_CONFIGS = "REPRO_BENCH_CAMPAIGN_CONFIGS"
-_ENV_MIN_SPEEDUP = "REPRO_BENCH_MIN_CAMPAIGN_SPEEDUP"
-_ENV_STRICT = "REPRO_BENCH_STRICT"
-
 
 def default_sets_per_point() -> int:
-    return int(os.environ.get(_ENV_SETS, "100"))
+    return knobs.value("bench_campaign_sets")
 
 
 def default_configs() -> tuple[str, ...]:
-    raw = os.environ.get(_ENV_CONFIGS, "").strip()
-    if not raw:
-        return tuple(FIG5_CONFIGS)
-    return tuple(key.strip() for key in raw.split(",") if key.strip())
+    return knobs.value("bench_campaign_configs") or tuple(FIG5_CONFIGS)
 
 
 def min_campaign_speedup(default: float = 4.0) -> float:
-    return float(os.environ.get(_ENV_MIN_SPEEDUP, str(default)))
+    found = knobs.resolve("bench_min_campaign_speedup")
+    return default if found.source == "default" else found.value
 
 
 def strict_enabled() -> bool:
-    return os.environ.get(_ENV_STRICT, "").strip() not in ("", "0")
+    """Whether the wall-clock speedup gates are armed.
+
+    ``REPRO_BENCH_STRICT`` goes through the registry's single boolean
+    grammar, so ``"false"``/``"FALSE"``/``"0"``/``""`` all disarm (an
+    earlier hand-rolled parser treated ``"false"`` as truthy) and a
+    typo like ``"ture"`` raises instead of silently disarming.
+    """
+    return knobs.value("bench_strict")
 
 
 def curves_fingerprint(curves: dict[str, list[SchedulabilityPoint]],

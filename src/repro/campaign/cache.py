@@ -41,6 +41,8 @@ import time
 from pathlib import Path
 from typing import Any, Iterator, Optional
 
+from ..runtime import events
+
 #: Envelope schema version (bump if the wrapper format changes).
 ENVELOPE_VERSION = 1
 
@@ -124,16 +126,22 @@ class ResultCache:
             with open(path) as fh:
                 data = json.load(fh)
         except FileNotFoundError:
+            events.emit("cache.miss", digest=digest)
             return default
         except json.JSONDecodeError:
+            events.emit("cache.corrupt", digest=digest,
+                        reason="undecodable")
             self.quarantine(path, reason="undecodable")
             return default
         except OSError:
+            events.emit("cache.miss", digest=digest, transient=True)
             return default
         payload = _open_envelope(data)
         if payload is _BAD:
+            events.emit("cache.corrupt", digest=digest, reason="badsum")
             self.quarantine(path, reason="badsum")
             return default
+        events.emit("cache.hit", digest=digest)
         return payload
 
     def put(self, digest: str, payload: Any) -> None:
@@ -171,6 +179,8 @@ class ResultCache:
             os.replace(path, dest)
         except OSError:
             return None   # lost a race with another reader: same outcome
+        events.emit("cache.quarantine", digest=path.stem,
+                    reason=reason, dest=str(dest))
         return dest
 
     def entries(self) -> Iterator[Path]:

@@ -29,30 +29,21 @@ round-trip before it is returned, so a campaign's output is invariant
 to worker count *and* to cache state (tuples become lists exactly once,
 on every path).
 
-Fault-tolerance knobs (execution-only: excluded from spawn seeds and
-cache digests, like every backend/scheduler/engine knob in this repo):
-
-=========================  ==============================================
-``REPRO_UNIT_TIMEOUT``     per-unit wall-clock seconds (default: none)
-``REPRO_MAX_RETRIES``      attempts after the first failure (default 0)
-``REPRO_RETRY_BACKOFF``    base of the deterministic exponential backoff
-                           between attempts, seconds (default 0.05)
-``REPRO_CAMPAIGN_STRICT``  raise :class:`CampaignError` summarising all
-                           quarantined units at campaign end (default:
-                           degrade gracefully)
-``REPRO_SHUTDOWN_GRACE``   drain window for in-flight units on
-                           SIGINT/SIGTERM, seconds (default 5)
-``REPRO_CHAOS``            test-only fault injector (JSON; see
-                           ``tests/campaign/chaos.py``)
-=========================  ==============================================
+Every fault-tolerance knob (``REPRO_UNIT_TIMEOUT``,
+``REPRO_MAX_RETRIES``, ``REPRO_RETRY_BACKOFF``,
+``REPRO_CAMPAIGN_STRICT``, ``REPRO_SHUTDOWN_GRACE``, ``REPRO_CHAOS``)
+is declared in the :mod:`repro.runtime.knobs` registry as
+execution-scoped — excluded from spawn seeds and cache digests by
+construction, not by convention; run ``python -m repro knobs`` for
+the full table.  The registry's identity fingerprint *is* folded into
+every cache digest, so promoting a knob to identity scope invalidates
+stale entries automatically.
 """
 
 from __future__ import annotations
 
 import hashlib
-import json
 import multiprocessing
-import os
 import signal
 import threading
 import time
@@ -61,6 +52,7 @@ from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Sequence
 
 from ..errors import ReproError
+from ..runtime import events, knobs
 from .cache import ResultCache, canonical_json, unit_digest
 from .supervisor import (
     ChaosConfig,
@@ -70,16 +62,6 @@ from .supervisor import (
     run_serial,
     run_supervised,
 )
-
-_ENV_WORKERS = "REPRO_WORKERS"
-_ENV_CACHE_DIR = "REPRO_CACHE_DIR"
-_ENV_START_METHOD = "REPRO_MP_START"
-_ENV_UNIT_TIMEOUT = "REPRO_UNIT_TIMEOUT"
-_ENV_MAX_RETRIES = "REPRO_MAX_RETRIES"
-_ENV_RETRY_BACKOFF = "REPRO_RETRY_BACKOFF"
-_ENV_STRICT = "REPRO_CAMPAIGN_STRICT"
-_ENV_SHUTDOWN_GRACE = "REPRO_SHUTDOWN_GRACE"
-_ENV_CHAOS = "REPRO_CHAOS"
 
 
 class CampaignError(ReproError):
@@ -122,84 +104,49 @@ def spawn_seed(campaign_seed: int, *key_parts: Any) -> int:
 
 def default_workers() -> int:
     """Worker count: ``REPRO_WORKERS`` env, else ``os.cpu_count()``."""
-    raw = os.environ.get(_ENV_WORKERS, "").strip()
-    if raw:
-        workers = int(raw)
-        if workers < 1:
-            raise CampaignError(f"{_ENV_WORKERS} must be >= 1, got {raw}")
-        return workers
-    return os.cpu_count() or 1
+    return knobs.value("workers")
 
 
 def default_cache_dir() -> Path:
     """Cache root: ``REPRO_CACHE_DIR`` env, else ``<repo>/.repro_cache``."""
-    raw = os.environ.get(_ENV_CACHE_DIR, "").strip()
-    if raw:
-        return Path(raw)
-    # three levels above this file: src/repro/campaign -> repo root
-    return Path(__file__).resolve().parents[3] / ".repro_cache"
+    return knobs.value("cache_dir")
 
 
 def default_unit_timeout() -> Optional[float]:
     """Per-unit timeout: ``REPRO_UNIT_TIMEOUT`` seconds, else none."""
-    raw = os.environ.get(_ENV_UNIT_TIMEOUT, "").strip()
-    if not raw:
-        return None
-    try:
-        value = float(raw)
-    except ValueError:
-        raise CampaignError(
-            f"{_ENV_UNIT_TIMEOUT} must be a number of seconds, "
-            f"got {raw!r}") from None
-    if value <= 0:
-        raise CampaignError(f"{_ENV_UNIT_TIMEOUT} must be > 0, got {raw}")
-    return value
+    return knobs.value("unit_timeout")
 
 
 def default_max_retries() -> int:
     """Retry budget: ``REPRO_MAX_RETRIES`` env, else 0."""
-    raw = os.environ.get(_ENV_MAX_RETRIES, "").strip()
-    if not raw:
-        return 0
-    try:
-        value = int(raw)
-    except ValueError:
-        raise CampaignError(
-            f"{_ENV_MAX_RETRIES} must be an integer, got {raw!r}"
-        ) from None
-    if value < 0:
-        raise CampaignError(f"{_ENV_MAX_RETRIES} must be >= 0, got {raw}")
-    return value
+    return knobs.value("max_retries")
 
 
 def default_retry_backoff() -> float:
     """Backoff base: ``REPRO_RETRY_BACKOFF`` seconds, else 0.05."""
-    raw = os.environ.get(_ENV_RETRY_BACKOFF, "").strip()
-    return float(raw) if raw else 0.05
+    return knobs.value("retry_backoff")
 
 
 def default_strict() -> bool:
     """Strict mode: ``REPRO_CAMPAIGN_STRICT`` truthy, else graceful."""
-    raw = os.environ.get(_ENV_STRICT, "").strip().lower()
-    return raw in ("1", "true", "yes", "on")
+    return knobs.value("campaign_strict")
 
 
 def default_shutdown_grace() -> float:
     """Drain window on shutdown: ``REPRO_SHUTDOWN_GRACE``, else 5 s."""
-    raw = os.environ.get(_ENV_SHUTDOWN_GRACE, "").strip()
-    return float(raw) if raw else 5.0
+    return knobs.value("shutdown_grace")
 
 
 def chaos_from_env() -> Optional[ChaosConfig]:
     """The test-only ``REPRO_CHAOS`` fault injector, when armed."""
-    raw = os.environ.get(_ENV_CHAOS, "").strip()
-    if not raw:
+    spec = knobs.value("chaos")
+    if spec is None:
         return None
     try:
-        return ChaosConfig(**json.loads(raw))
-    except (json.JSONDecodeError, TypeError, ValueError) as exc:
+        return ChaosConfig(**spec)
+    except (TypeError, ValueError) as exc:
         raise CampaignError(
-            f"invalid {_ENV_CHAOS} spec {raw!r}: {exc}") from None
+            f"invalid REPRO_CHAOS spec {spec!r}: {exc}") from None
 
 
 def resolve_cache(cache: Any) -> Optional[ResultCache]:
@@ -251,6 +198,18 @@ def code_token() -> str:
     return _CODE_TOKEN
 
 
+def _digest_version(version: str = "1") -> str:
+    """The cache-digest namespace for one declared campaign version.
+
+    Spawn seeds depend on the *declared* version only (stable RNG
+    streams across refactors); digests also fold in the source-tree
+    fingerprint (cached results never outlive a code change) and the
+    registry's identity fingerprint (execution knobs cannot reach a
+    digest; promoting a knob to identity scope invalidates the cache).
+    """
+    return f"{version}:{code_token()}:{knobs.identity_fingerprint()}"
+
+
 @dataclass
 class CampaignStats:
     """Bookkeeping for one campaign run.
@@ -295,7 +254,7 @@ def _start_method() -> str:
     """Pool start method: ``REPRO_MP_START`` env, else the platform
     default (fork on Linux; spawn on macOS, where forking into system
     frameworks is unsafe — the reason CPython switched its default)."""
-    preferred = os.environ.get(_ENV_START_METHOD, "").strip()
+    preferred = knobs.value("mp_start")
     if preferred and preferred in multiprocessing.get_all_start_methods():
         return preferred
     return multiprocessing.get_start_method()
@@ -365,10 +324,7 @@ def run_campaign(fn: Callable[[Any, int], Any], specs: Sequence[Any], *,
     pending: list[tuple] = []
     cached = 0
     miss = object()   # distinguishes a cached null payload from a miss
-    # Spawn seeds depend on the *declared* version only (stable RNG
-    # streams across refactors); digests also fold in the source-tree
-    # fingerprint so cached results never outlive a code change.
-    digest_version = f"{version}:{code_token()}"
+    digest_version = _digest_version(version)
     for index, spec in enumerate(specs):
         rng_seed = spawn_seed(seed, fn_ref, version, spec)
         if store is not None:
@@ -383,6 +339,8 @@ def run_campaign(fn: Callable[[Any, int], Any], specs: Sequence[Any], *,
         pending.append((index, fn_ref, spec, rng_seed, digests[index]))
 
     n_workers = min(n_workers, len(pending)) or 1
+    events.emit("campaign.start", fn=fn_ref, units=len(specs),
+                workers=n_workers, cached=cached)
     # Timeouts, retries and chaos all need per-unit dispatch: a chunk
     # would make one hung unit poison its whole chunk's granularity.
     supervised_features = (unit_timeout is not None or max_retries > 0
@@ -477,6 +435,10 @@ def run_campaign(fn: Callable[[Any, int], Any], specs: Sequence[Any], *,
         unit_timeout=unit_timeout, max_retries=max_retries,
         manifest=manifest_path)
     run = CampaignRun(results=results, stats=stats, failures=failures)
+    events.emit("campaign.end", fn=fn_ref, computed=stats.computed,
+                cached=stats.cached, quarantined=stats.quarantined,
+                seconds=round(stats.seconds, 6),
+                interrupted=report.interrupted)
 
     if report.interrupted:
         where = (f"; resumable manifest at {manifest_path}"

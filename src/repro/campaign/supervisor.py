@@ -56,6 +56,8 @@ from collections import deque
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from ..runtime import events
+
 #: Supervisor loop tick while waiting for worker progress.
 _POLL_S = 0.01
 #: terminate() -> kill() escalation window for an unresponsive worker.
@@ -287,6 +289,8 @@ class _Worker:
             args=(self.task_q, self.result_q, chaos_spec),
             daemon=True)
         self.process.start()
+        events.emit("worker.spawn", worker=self.process.pid,
+                    worker_pid=self.process.pid)
         #: Dispatched-but-unreported units, in dispatch order.
         self.batch: deque[_Unit] = deque()
         self.last_progress = time.monotonic()
@@ -294,6 +298,10 @@ class _Worker:
     def dispatch(self, units: Sequence[_Unit]) -> None:
         self.batch.extend(units)
         self.last_progress = time.monotonic()
+        for unit in units:
+            events.emit("unit.start", digest=unit.digest,
+                        index=unit.index, attempt=unit.attempt,
+                        worker=self.process.pid)
         self.task_q.put([unit.as_task() for unit in units])
 
     def shutdown(self, kill: bool = False) -> None:
@@ -372,6 +380,7 @@ class _Supervisor:
             if not worker.batch:
                 continue   # stale message for an already-handled unit
             unit = worker.batch.popleft()
+            elapsed = time.monotonic() - worker.last_progress
             worker.last_progress = time.monotonic()
             if kind == "ok":
                 _, index, _attempt, payload = message
@@ -379,6 +388,9 @@ class _Supervisor:
                     continue
                 self.record(index, payload)
                 self.completed.add(index)
+                events.emit("unit.end", digest=unit.digest, index=index,
+                            worker=worker.process.pid,
+                            seconds=round(elapsed, 6))
             else:
                 _, _index, _attempt, etype, emsg, tb = message
                 self._register_failure(unit, etype, emsg, tb)
@@ -391,11 +403,17 @@ class _Supervisor:
             self.report.failures.append(
                 unit.failure(error_type, message, tb))
             self.quarantined.add(unit.index)
+            events.emit("unit.quarantine", digest=unit.digest,
+                        index=unit.index, attempts=unit.attempt + 1,
+                        error=error_type)
             return
         delay = self.retry_backoff * (2 ** unit.attempt)
         unit.attempt += 1
         self.report.retries += 1
         self._retry_seq += 1
+        events.emit("unit.retry", digest=unit.digest, index=unit.index,
+                    attempt=unit.attempt, max_retries=self.max_retries,
+                    backoff_s=round(delay, 6), error=error_type)
         heapq.heappush(self.retry_heap,
                        (time.monotonic() + delay, self._retry_seq, unit))
 
@@ -409,9 +427,12 @@ class _Supervisor:
             self.queue.extendleft(reversed(requeued))
             self._register_failure(victim, error_type, message, None)
         self.report.worker_deaths += 1
+        events.emit("worker.death", worker=worker.process.pid,
+                    reason=f"{error_type}: {message}")
         worker.shutdown(kill=True)
-        self.workers[self.workers.index(worker)] = _Worker(
-            self.ctx, self.chaos_spec)
+        replacement = _Worker(self.ctx, self.chaos_spec)
+        self.workers[self.workers.index(worker)] = replacement
+        events.emit("worker.respawn", worker=replacement.process.pid)
 
     # -- main loop ----------------------------------------------------------
 
@@ -439,6 +460,9 @@ class _Supervisor:
                   and now - worker.last_progress > self.unit_timeout):
                 self.report.timeouts += 1
                 victim = worker.batch[0]
+                events.emit("unit.timeout", digest=victim.digest,
+                            index=victim.index,
+                            timeout_s=self.unit_timeout)
                 victim_msg = (
                     f"unit exceeded REPRO_UNIT_TIMEOUT="
                     f"{self.unit_timeout}s wall-clock "
@@ -530,6 +554,10 @@ def run_serial(units: Sequence[tuple], *,
             report.outstanding = [u.index for u in items[position:]]
             break
         while True:
+            events.emit("unit.start", digest=unit.digest,
+                        index=unit.index, attempt=unit.attempt,
+                        worker=os.getpid())
+            started = time.monotonic()
             try:
                 payload = run_attempt(unit.fn_ref, unit.spec,
                                       unit.rng_seed, unit.attempt, None)
@@ -541,12 +569,25 @@ def run_serial(units: Sequence[tuple], *,
                     report.failures.append(unit.failure(
                         type(exc).__name__, str(exc),
                         traceback_mod.format_exc()))
+                    events.emit("unit.quarantine", digest=unit.digest,
+                                index=unit.index,
+                                attempts=unit.attempt + 1,
+                                error=type(exc).__name__)
                     break
+                delay = retry_backoff * (2 ** unit.attempt)
                 unit.attempt += 1
                 report.retries += 1
+                events.emit("unit.retry", digest=unit.digest,
+                            index=unit.index, attempt=unit.attempt,
+                            max_retries=max_retries,
+                            backoff_s=round(delay, 6),
+                            error=type(exc).__name__)
                 if retry_backoff:
-                    time.sleep(retry_backoff * (2 ** (unit.attempt - 1)))
+                    time.sleep(delay)
             else:
                 record(unit.index, payload)
+                events.emit("unit.end", digest=unit.digest,
+                            index=unit.index, worker=os.getpid(),
+                            seconds=round(time.monotonic() - started, 6))
                 break
     return report

@@ -62,12 +62,12 @@ with :mod:`linecache` so tracebacks through generated code resolve.
 from __future__ import annotations
 
 import linecache
-import os
 import sys
 
 from ..config import CoreConfig
 from ..isa.instructions import INST_BYTES, MASK64, OpKind
 from ..isa.program import Program
+from ..runtime import knobs
 from .decode import _SEQUENTIAL_KINDS, DecodedProgram, decode_program
 from .memory import DirectPort, MainMemory
 
@@ -93,13 +93,9 @@ DEFAULT_WARMUP = 2
 #: overrun the cap check by at most its gap.
 _LEN_BOUND = TRACE_CAP + MAX_GAP
 
-_WARMUP_ENV = "REPRO_CORE_COMPILE_WARMUP"
-
-
 def default_warmup() -> int:
     """Trace-compile warmup threshold (``REPRO_CORE_COMPILE_WARMUP``)."""
-    raw = os.environ.get(_WARMUP_ENV, "").strip()
-    return int(raw) if raw else DEFAULT_WARMUP
+    return knobs.value("core_compile_warmup")
 
 
 def _mbail(core, sites: dict) -> None:

@@ -45,14 +45,12 @@ for the co-sim scheduler.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..config import CORE_ENGINE_CHOICES, CoreConfig
 from ..errors import (
-    ConfigurationError,
     ExecutionLimitExceeded,
     IllegalInstructionError,
     PrivilegeError,
@@ -69,6 +67,7 @@ from .branch import BranchPredictor
 from .cache import Cache, MemoryHierarchy
 from .compile import CompiledProgram, compiled_table
 from .decode import DecodedProgram, decode_program
+from ..runtime import knobs
 from .memory import MemoryPort
 from .registers import (
     ArchSnapshot,
@@ -83,9 +82,6 @@ from .registers import (
     RegisterFile,
     SNAPSHOT_CSRS,
 )
-
-#: Environment override for the default execution engine.
-_ENGINE_ENV = "REPRO_CORE_ENGINE"
 
 #: Concrete engine tiers, reference first (``auto`` is a deferral, not
 #: a tier).  Benches iterate this, so new tiers are swept automatically.
@@ -104,23 +100,9 @@ def resolve_engine(name: str | None = None,
     misspelled engine fails loudly at core construction instead of
     silently selecting the default.
     """
-    sources = (
-        ("engine argument", name),
-        ("CoreConfig.engine", config.engine if config is not None
-         else None),
-        (f"{_ENGINE_ENV} environment variable",
-         os.environ.get(_ENGINE_ENV)),
-    )
-    for source, raw in sources:
-        requested = (raw or "").strip().lower()
-        if not requested or requested == "auto":
-            continue
-        if requested not in _ENGINES:
-            raise ConfigurationError(
-                f"unknown execution engine {raw!r} (from {source}); "
-                f"valid tiers: {', '.join(_ENGINES)} (or 'auto')")
-        return requested
-    return "decoded"
+    return knobs.value(
+        "core_engine", arg=name,
+        config=config.engine if config is not None else None)
 
 
 @contextmanager
@@ -134,23 +116,8 @@ def engine_override(engine: str | None):
     Engines are bit-identical, so this never perturbs results — only
     throughput.
     """
-    if engine is None or engine == "auto":
+    with knobs.env_override("core_engine", engine):
         yield
-        return
-    if engine not in _ENGINES:
-        raise ConfigurationError(
-            f"unknown execution engine {engine!r} (from engine "
-            f"override); valid tiers: {', '.join(_ENGINES)} "
-            "(or 'auto')")
-    prior = os.environ.get(_ENGINE_ENV)
-    os.environ[_ENGINE_ENV] = engine
-    try:
-        yield
-    finally:
-        if prior is None:
-            os.environ.pop(_ENGINE_ENV, None)
-        else:
-            os.environ[_ENGINE_ENV] = prior
 
 
 class MemEntry:

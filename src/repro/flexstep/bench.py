@@ -25,13 +25,13 @@ Environment knobs (all optional):
 
 from __future__ import annotations
 
-import os
 import random
 import time
 from datetime import datetime, timezone
 from typing import Optional, Sequence
 
 from ..config import SoCConfig
+from ..runtime import knobs
 from ..core.decode import decode_program
 from ..sim.stats import geomean
 from ..workloads.generator import GeneratorOptions, cached_program
@@ -41,10 +41,6 @@ from .soc import FlexStepSoC, SoCRunStats
 
 #: Default benchmark trajectory file, relative to the repository root.
 BENCH_FILE = "BENCH_soc.json"
-
-_ENV_POINTS = "REPRO_BENCH_SOC_POINTS"
-_ENV_REPEATS = "REPRO_BENCH_SOC_REPEATS"
-_ENV_MIN_SPEEDUP = "REPRO_BENCH_MIN_SOC_SPEEDUP"
 
 #: The Fig. 4/6/7-shaped workload grid.  Single-pair points mirror the
 #: slowdown experiments (Figs. 4 and 6); multi-pair fault-injection
@@ -103,18 +99,17 @@ DEFAULT_GRID: tuple[dict, ...] = (
 
 
 def default_points() -> tuple[str, ...]:
-    raw = os.environ.get(_ENV_POINTS, "").strip()
-    if not raw:
-        return tuple(p["name"] for p in DEFAULT_GRID)
-    return tuple(name.strip() for name in raw.split(",") if name.strip())
+    return (knobs.value("bench_soc_points")
+            or tuple(p["name"] for p in DEFAULT_GRID))
 
 
 def default_repeats() -> int:
-    return int(os.environ.get(_ENV_REPEATS, "1"))
+    return knobs.value("bench_soc_repeats")
 
 
 def min_soc_speedup(default: float = 2.0) -> float:
-    return float(os.environ.get(_ENV_MIN_SPEEDUP, str(default)))
+    found = knobs.resolve("bench_min_soc_speedup")
+    return default if found.source == "default" else found.value
 
 
 def build_point_soc(point: dict) -> tuple[FlexStepSoC, list]:

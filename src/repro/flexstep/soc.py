@@ -40,18 +40,18 @@ context switch exactly as Algorithm 1 does.
 from __future__ import annotations
 
 import enum
-import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence
 
-from ..config import SOC_SCHED_CHOICES, SoCConfig
+from ..config import SoCConfig
 from ..core.cache import Cache, MemoryHierarchy
 from ..core.core import Core
 from ..core.memory import CachedPort, MainMemory
 from ..core.registers import CSR_MTVEC
 from ..errors import ConfigurationError, ExecutionLimitExceeded
 from ..isa.program import Program
+from ..runtime import knobs
 from ..sim.engine import Event, EventQueue
 from .checker import CheckerEngine, SegmentResult
 from .dbc import SystemInterconnect
@@ -63,13 +63,7 @@ ENV_SOC_SCHED = "REPRO_SOC_SCHED"
 
 def resolve_soc_sched(name: Optional[str] = None) -> str:
     """Resolve a scheduler: argument > ``REPRO_SOC_SCHED`` > auto."""
-    requested = (name or os.environ.get(ENV_SOC_SCHED, "")).strip().lower() \
-        or "auto"
-    if requested not in SOC_SCHED_CHOICES:
-        raise ConfigurationError(
-            f"unknown SoC scheduler {requested!r}; choose from "
-            f"{SOC_SCHED_CHOICES}")
-    return "heap" if requested == "auto" else requested
+    return knobs.value("soc_sched", arg=name)
 
 
 @contextmanager
@@ -80,19 +74,8 @@ def soc_sched_override(name: Optional[str]) -> Iterator[None]:
     forked or spawned inside the context — inherit the selection,
     mirroring :func:`repro.sched.backend.backend_override`.
     """
-    if name is None:
+    with knobs.env_override("soc_sched", name):
         yield
-        return
-    resolve_soc_sched(name)   # validate before fanning out
-    previous = os.environ.get(ENV_SOC_SCHED)
-    os.environ[ENV_SOC_SCHED] = name
-    try:
-        yield
-    finally:
-        if previous is None:
-            os.environ.pop(ENV_SOC_SCHED, None)
-        else:
-            os.environ[ENV_SOC_SCHED] = previous
 
 
 def _noop() -> None:

@@ -45,6 +45,7 @@ from .config import CoreConfig
 from .core import Core, DirectPort, MainMemory, CSR_MTVEC
 from .core.core import _ENGINES
 from .core.decode import decode_program
+from .runtime import events, knobs
 from .workloads.generator import (
     GeneratorOptions,
     build_program,
@@ -61,30 +62,22 @@ DEFAULT_WORKLOADS: tuple[str, ...] = (
 #: Default benchmark file, relative to the repository root.
 BENCH_FILE = "BENCH_engine.json"
 
-_ENV_INSTRUCTIONS = "REPRO_BENCH_ENGINE_INSTRUCTIONS"
-_ENV_REPEATS = "REPRO_BENCH_ENGINE_REPEATS"
-_ENV_WORKLOADS = "REPRO_BENCH_ENGINE_WORKLOADS"
-_ENV_MIN_SPEEDUP = "REPRO_BENCH_MIN_SPEEDUP"
-_ENV_MIN_COMPILED_SPEEDUP = "REPRO_BENCH_MIN_COMPILED_SPEEDUP"
-
 
 def default_instructions() -> int:
-    return int(os.environ.get(_ENV_INSTRUCTIONS, "120000"))
+    return knobs.value("bench_engine_instructions")
 
 
 def default_repeats() -> int:
-    return int(os.environ.get(_ENV_REPEATS, "3"))
+    return knobs.value("bench_engine_repeats")
 
 
 def default_workloads() -> tuple[str, ...]:
-    raw = os.environ.get(_ENV_WORKLOADS, "")
-    if not raw.strip():
-        return DEFAULT_WORKLOADS
-    return tuple(name.strip() for name in raw.split(",") if name.strip())
+    return knobs.value("bench_engine_workloads") or DEFAULT_WORKLOADS
 
 
 def min_speedup_threshold(default: float = 5.0) -> float:
-    return float(os.environ.get(_ENV_MIN_SPEEDUP, str(default)))
+    found = knobs.resolve("bench_min_speedup")
+    return default if found.source == "default" else found.value
 
 
 def min_compiled_speedup_threshold(default: float = 3.5) -> float:
@@ -97,7 +90,8 @@ def min_compiled_speedup_threshold(default: float = 3.5) -> float:
     gates at 3.5× (measured geomean ≈5×, with generous headroom for
     noisy CI hosts).  Override with ``REPRO_BENCH_MIN_COMPILED_SPEEDUP``.
     """
-    return float(os.environ.get(_ENV_MIN_COMPILED_SPEEDUP, str(default)))
+    found = knobs.resolve("bench_min_compiled_speedup")
+    return default if found.source == "default" else found.value
 
 
 @dataclass
@@ -301,4 +295,10 @@ def append_record(record: dict,
     with open(bench_path, "w") as fh:
         json.dump(trajectory, fh, indent=2, sort_keys=False)
         fh.write("\n")
+    events.emit("bench.sample", bench=bench,
+                label=record.get("label", ""),
+                metrics={k: v for k, v in record.items()
+                         if isinstance(v, (int, float))
+                         and not isinstance(v, bool)},
+                path=str(bench_path))
     return bench_path

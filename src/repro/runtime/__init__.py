@@ -1,0 +1,63 @@
+"""Unified runtime layer: knob registry + structured event bus.
+
+Every ``REPRO_*`` runtime knob in this repository is declared exactly
+once, in :mod:`repro.runtime.knobs` — name, environment variable,
+type/parser, default, validator, CLI flag, help text and (critically)
+a *scope*:
+
+* ``identity`` knobs participate in campaign spawn seeds and
+  result-cache digests — changing one changes what is computed;
+* ``execution`` knobs (worker counts, timeouts, retries, backend and
+  scheduler selection, chaos, bench gates) are proven
+  result-invariant and are **excluded** from both, as a checked
+  property of the registry instead of a comment-only convention.
+
+One precedence rule applies everywhere: explicit argument > config
+object > environment variable > declared default, with source
+tracking (``repro knobs`` shows where every value came from) and typo
+detection — an unknown value raises
+:class:`~repro.errors.ConfigurationError` naming the knob and its
+valid values, and an unknown ``REPRO_*`` environment name suggests
+the closest registered knob.
+
+:mod:`repro.runtime.events` is the structured JSON-lines event bus
+(``REPRO_LOG_JSON``) that campaign, cache, supervisor, scenario and
+bench layers publish to: unit/campaign lifecycle, cache
+hit/miss/corruption/quarantine, worker spawn/death/respawn,
+retry/timeout/backoff and bench samples, each event carrying unit
+digests so a log replay can be joined against the cache.  Logging is
+identity-neutral: a campaign with the bus on is bit-identical to one
+with the bus off.
+"""
+
+from . import events, knobs
+from .events import EVENT_SCHEMA, EventBus, emit, get_bus
+from .knobs import (
+    REGISTRY,
+    Knob,
+    Resolution,
+    check_env,
+    env_override,
+    identity_fingerprint,
+    parse_bool,
+    resolve,
+    value,
+)
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EventBus",
+    "Knob",
+    "REGISTRY",
+    "Resolution",
+    "check_env",
+    "emit",
+    "env_override",
+    "events",
+    "get_bus",
+    "identity_fingerprint",
+    "knobs",
+    "parse_bool",
+    "resolve",
+    "value",
+]

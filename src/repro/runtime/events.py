@@ -1,0 +1,165 @@
+"""Process-safe structured event bus (``REPRO_LOG_JSON``).
+
+The machine-readable telemetry channel the ROADMAP item-5 soak
+tooling and the future ``repro serve`` status endpoint consume.
+Campaign, cache, supervisor, scenario and bench layers publish a
+fixed vocabulary (:data:`EVENT_SCHEMA`) of JSON-lines events:
+campaign/unit lifecycle, cache hit/miss/corruption/quarantine, worker
+spawn/death/respawn, retry/timeout/backoff, and bench samples.  Unit
+and cache events carry the unit's content digest, so a saved log
+joins against the result cache — ``jq 'select(.digest=="...")'`` over
+a nightly artifact finds exactly which cache entry a unit produced.
+
+Design constraints, in order:
+
+* **Identity-neutral.**  Emitting events must never perturb results:
+  the bus touches no RNG, mutates no caller state, and the
+  bit-identity suite runs a chaos-armed campaign with the sink on and
+  off and compares results byte-for-byte.
+* **Free when off.**  The default sink is null; :func:`emit` returns
+  after one cached attribute check, so per-unit cache probes cost
+  nothing extra in the common case.
+* **Safe across processes.**  Campaign workers are forked/spawned
+  mid-campaign; the bus is resolved per ``(pid, sink)`` so every
+  process appends with its own file handle.  Writes are single
+  ``write()`` calls of one ``\\n``-terminated line (atomic for sane
+  line lengths on POSIX), so concurrent writers interleave whole
+  events, never fragments.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Optional, TextIO
+
+from . import knobs
+
+#: Event vocabulary: event name -> field names required beyond the
+#: common envelope (``event``, ``ts``, ``pid``).  ``emit`` rejects an
+#: unknown event name or a missing required field whenever a sink is
+#: active, so the log's consumers can rely on the schema; extra
+#: fields are allowed (they are how events grow).
+EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
+    # campaign lifecycle
+    "campaign.start": ("units", "workers", "cached"),
+    "campaign.end": ("computed", "cached", "quarantined", "seconds"),
+    # per-unit lifecycle (digest joins against the result cache)
+    "unit.start": ("digest", "worker"),
+    "unit.end": ("digest", "worker", "seconds"),
+    "unit.retry": ("digest", "attempt", "max_retries", "backoff_s",
+                   "error"),
+    "unit.timeout": ("digest", "timeout_s"),
+    "unit.quarantine": ("digest", "attempts", "error"),
+    # result cache
+    "cache.hit": ("digest",),
+    "cache.miss": ("digest",),
+    "cache.corrupt": ("digest", "reason"),
+    "cache.quarantine": ("digest",),
+    # worker pool
+    "worker.spawn": ("worker", "worker_pid"),
+    "worker.death": ("worker", "reason"),
+    "worker.respawn": ("worker",),
+    # scenario runner
+    "scenario.start": ("scenario", "kind"),
+    "scenario.end": ("scenario", "kind", "seconds"),
+    # perf trajectories
+    "bench.sample": ("bench", "metrics"),
+}
+
+
+class EventBus:
+    """One sink-bound publisher.  Use :func:`emit`, not this, to log."""
+
+    def __init__(self, sink: Optional[TextIO], *,
+                 close: bool = False) -> None:
+        self._sink = sink
+        self._close = close
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self._sink is not None
+
+    def emit(self, event: str, /, **fields: Any) -> None:
+        if self._sink is None:
+            return
+        required = EVENT_SCHEMA.get(event)
+        if required is None:
+            raise ValueError(
+                f"unknown event {event!r}; add it to EVENT_SCHEMA")
+        missing = [f for f in required if f not in fields]
+        if missing:
+            raise ValueError(
+                f"event {event!r} missing required field(s): "
+                f"{', '.join(missing)}")
+        record = {"event": event, "ts": round(time.time(), 6),
+                  "pid": os.getpid(), **fields}
+        line = json.dumps(record, sort_keys=True, default=str,
+                          separators=(",", ":")) + "\n"
+        with self._lock:
+            try:
+                self._sink.write(line)
+                self._sink.flush()
+            except ValueError:
+                # sink closed underneath us (interpreter teardown,
+                # test capture swap) — telemetry must never take the
+                # computation down with it
+                self._sink = None
+
+    def close(self) -> None:
+        if self._close and self._sink is not None:
+            try:
+                self._sink.close()
+            except OSError:
+                pass
+        self._sink = None
+
+
+_NULL_BUS = EventBus(None)
+_lock = threading.Lock()
+_cached: "tuple[int, str, EventBus] | None" = None
+
+
+def _open_bus(spec: str) -> EventBus:
+    if not spec:
+        return _NULL_BUS
+    if spec in ("stderr", "-"):
+        return EventBus(sys.stderr)
+    # line-buffered append: each process gets its own handle and
+    # appends whole lines, so parallel workers interleave cleanly
+    handle = io.open(spec, "a", encoding="utf-8", buffering=1)
+    return EventBus(handle, close=True)
+
+
+def get_bus() -> EventBus:
+    """The current process's bus for the current ``REPRO_LOG_JSON``.
+
+    Resolved per ``(pid, sink spec)``: a forked worker re-opens its
+    own handle on first emit, and a test that flips the knob gets a
+    fresh sink rather than a stale cached one.
+    """
+    global _cached
+    spec = str(knobs.value("log_json"))
+    pid = os.getpid()
+    cached = _cached
+    if cached is not None and cached[0] == pid and cached[1] == spec:
+        return cached[2]
+    with _lock:
+        cached = _cached
+        if cached is not None and cached[0] == pid and cached[1] == spec:
+            return cached[2]
+        if cached is not None and cached[0] == pid:
+            cached[2].close()
+        bus = _open_bus(spec)
+        _cached = (pid, spec, bus)
+        return bus
+
+
+def emit(event: str, /, **fields: Any) -> None:
+    """Publish one event to the current sink (no-op when disabled)."""
+    get_bus().emit(event, **fields)

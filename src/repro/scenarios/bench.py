@@ -29,6 +29,7 @@ from datetime import datetime, timezone
 from typing import Sequence
 
 from ..campaign import default_workers
+from ..runtime import knobs
 from .catalog import CATALOG, get_scenario
 from .runner import run_scenario
 
@@ -41,19 +42,14 @@ DEFAULT_SCENARIOS: tuple[str, ...] = (
     "mixed-criticality",
 )
 
-_ENV_NAMES = "REPRO_BENCH_SCENARIO_NAMES"
-_ENV_MIN_REPLAY = "REPRO_BENCH_MIN_REPLAY_SPEEDUP"
-
 
 def default_scenarios() -> tuple[str, ...]:
-    raw = os.environ.get(_ENV_NAMES, "").strip()
-    if not raw:
-        return DEFAULT_SCENARIOS
-    return tuple(name.strip() for name in raw.split(",") if name.strip())
+    return knobs.value("bench_scenario_names") or DEFAULT_SCENARIOS
 
 
 def min_replay_speedup(default: float = 3.0) -> float:
-    return float(os.environ.get(_ENV_MIN_REPLAY, str(default)))
+    found = knobs.resolve("bench_min_replay_speedup")
+    return default if found.source == "default" else found.value
 
 
 def run_scenario_benchmark(*, names: Sequence[str] | None = None,

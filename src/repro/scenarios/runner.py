@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
@@ -30,6 +31,7 @@ from ..config import SoCConfig
 from ..core import engine_override
 from ..flexstep.faults import FaultTarget
 from ..flexstep.soc import soc_sched_override
+from ..runtime import events, knobs
 from ..sched.backend import backend_override
 from ..sched.experiments import (
     _aggregate_batch_points,
@@ -38,16 +40,10 @@ from ..sched.experiments import (
 )
 from .spec import Scenario
 
-_ENV_REPORT_DIR = "REPRO_REPORT_DIR"
-
 
 def default_report_dir() -> Path:
     """Report root: ``REPRO_REPORT_DIR`` env, else ``<repo>/.repro_reports``."""
-    raw = os.environ.get(_ENV_REPORT_DIR, "").strip()
-    if raw:
-        return Path(raw)
-    # three levels above this file: src/repro/scenarios -> repo root
-    return Path(__file__).resolve().parents[3] / ".repro_reports"
+    return knobs.value("report_dir")
 
 
 @dataclass
@@ -226,9 +222,17 @@ def run_scenario(scenario: Scenario, *,
     run_seed = scenario.seed if seed is None else seed
     campaign_kw = {"unit_timeout": unit_timeout,
                    "max_retries": max_retries, "strict": strict}
+    events.emit("scenario.start", scenario=scenario.name,
+                kind=scenario.kind, seed=run_seed)
+    started = time.perf_counter()
     with backend_override(backend), soc_sched_override(soc_sched), \
             engine_override(engine):
         payload, stats = _RUNNERS[scenario.kind](
             scenario, run_seed, workers, cache, campaign_kw)
+    events.emit("scenario.end", scenario=scenario.name,
+                kind=scenario.kind,
+                seconds=round(time.perf_counter() - started, 6),
+                computed=stats.computed, cached=stats.cached,
+                quarantined=stats.quarantined)
     return ScenarioResult(scenario=scenario, seed=run_seed,
                           payload=payload, stats=stats)

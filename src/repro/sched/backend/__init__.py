@@ -25,18 +25,19 @@ is valid no matter which backend produced it.
 from __future__ import annotations
 
 import importlib.util
-import os
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
-from ...errors import SchedBackendError
+from ...errors import ConfigurationError, SchedBackendError
+from ...runtime import knobs
 from .base import SchedBackend, TaskSetBatch
 
 #: Environment variable selecting the default backend.
 ENV_BACKEND = "REPRO_SCHED_BACKEND"
 
-#: Names accepted by :func:`get_backend` (and the CLI flag).
-BACKEND_CHOICES = ("auto", "python", "numpy")
+#: Names accepted by :func:`get_backend` (and the CLI flag) — declared
+#: once, in the runtime knob registry.
+BACKEND_CHOICES = knobs.SCHED_BACKEND_CHOICES
 
 _INSTANCES: dict[str, SchedBackend] = {}
 
@@ -61,12 +62,10 @@ def default_backend_name() -> str:
 
 def get_backend(name: Optional[str] = None) -> SchedBackend:
     """Resolve a backend: argument > ``REPRO_SCHED_BACKEND`` > auto."""
-    requested = (name or os.environ.get(ENV_BACKEND, "")).strip().lower() \
-        or "auto"
-    if requested not in BACKEND_CHOICES:
-        raise SchedBackendError(
-            f"unknown sched backend {requested!r}; choose from "
-            f"{BACKEND_CHOICES}")
+    try:
+        requested = knobs.value("sched_backend", arg=name)
+    except ConfigurationError as exc:
+        raise SchedBackendError(str(exc)) from None
     resolved = default_backend_name() if requested == "auto" else requested
     if resolved == "numpy" and not numpy_available():
         raise SchedBackendError(
@@ -98,15 +97,8 @@ def backend_override(name: Optional[str]) -> Iterator[None]:
         yield
         return
     get_backend(name)   # validate before fanning out
-    previous = os.environ.get(ENV_BACKEND)
-    os.environ[ENV_BACKEND] = name
-    try:
+    with knobs.env_override("sched_backend", name):
         yield
-    finally:
-        if previous is None:
-            os.environ.pop(ENV_BACKEND, None)
-        else:
-            os.environ[ENV_BACKEND] = previous
 
 
 __all__ = [

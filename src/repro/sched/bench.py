@@ -26,36 +26,30 @@ Environment knobs (all optional):
 
 from __future__ import annotations
 
-import os
 import time
 from datetime import datetime, timezone
 from typing import Sequence
 
 from ..campaign.bench import curves_fingerprint
+from ..runtime import knobs
 from .backend import numpy_available
 from .experiments import DEFAULT_UTILIZATIONS, FIG5_CONFIGS, fig5_campaign
 
 #: Default benchmark trajectory file, relative to the repository root.
 BENCH_FILE = "BENCH_sched.json"
 
-_ENV_SETS = "REPRO_BENCH_SCHED_SETS"
-_ENV_CONFIGS = "REPRO_BENCH_SCHED_CONFIGS"
-_ENV_MIN_SPEEDUP = "REPRO_BENCH_MIN_SCHED_SPEEDUP"
-
 
 def default_sets_per_point() -> int:
-    return int(os.environ.get(_ENV_SETS, "100"))
+    return knobs.value("bench_sched_sets")
 
 
 def default_configs() -> tuple[str, ...]:
-    raw = os.environ.get(_ENV_CONFIGS, "").strip()
-    if not raw:
-        return tuple(FIG5_CONFIGS)
-    return tuple(key.strip() for key in raw.split(",") if key.strip())
+    return knobs.value("bench_sched_configs") or tuple(FIG5_CONFIGS)
 
 
 def min_sched_speedup(default: float = 3.0) -> float:
-    return float(os.environ.get(_ENV_MIN_SPEEDUP, str(default)))
+    found = knobs.resolve("bench_min_sched_speedup")
+    return default if found.source == "default" else found.value
 
 
 def run_sched_benchmark(*, configs: Sequence[str] | None = None,

@@ -1,0 +1,67 @@
+"""The ``repro report --bench`` trajectory renderer."""
+
+from __future__ import annotations
+
+from repro.analysis.benchreport import (
+    BENCH_METRICS,
+    BENCHES,
+    bench_table,
+    regressions,
+    render_bench_report,
+)
+
+
+def trajectory(*records: dict) -> dict:
+    return {"bench": "campaign", "records": list(records)}
+
+
+class TestBenchTable:
+    def test_empty_trajectory_renders_header_only(self):
+        text = bench_table("campaign", trajectory())
+        assert "BENCH_campaign.json (0 record(s))" in text
+        assert "speedup" in text
+
+    def test_rows_carry_label_and_metrics(self):
+        text = bench_table("campaign", trajectory(
+            {"timestamp": "2026-08-08T03:47:00", "label": "pr-8",
+             "speedup": 4.25, "replay_speedup": 100.0}))
+        assert "pr-8" in text
+        assert "4.25" in text
+        assert "100" in text
+
+    def test_every_declared_bench_has_metrics(self):
+        for bench in BENCHES:
+            assert BENCH_METRICS[bench], bench
+
+
+class TestRegressions:
+    def test_needs_two_records(self):
+        assert regressions("campaign", trajectory({"speedup": 1.0})) == []
+
+    def test_flags_latest_below_ninety_percent_of_best(self):
+        warnings = regressions("campaign", trajectory(
+            {"speedup": 5.0}, {"speedup": 4.0}))
+        assert len(warnings) == 1
+        assert "speedup regressed to 4" in warnings[0]
+
+    def test_within_ratio_is_quiet(self):
+        assert regressions("campaign", trajectory(
+            {"speedup": 5.0}, {"speedup": 4.6})) == []
+
+    def test_seconds_metrics_never_flag(self):
+        assert regressions("scenarios", {"records": [
+            {"replay_speedup": 3.0, "cold_seconds": 1.0},
+            {"replay_speedup": 3.0, "cold_seconds": 50.0}]}) == []
+
+
+class TestRenderReport:
+    def test_renders_all_committed_trajectories(self):
+        """The real repo files must render — this is the CI smoke."""
+        text = render_bench_report()
+        for bench in BENCHES:
+            assert f"BENCH_{bench}.json" in text
+
+    def test_unknown_bench_renders_as_empty(self):
+        """`load_trajectory` tolerates a missing file; the CLI layer
+        (`repro report --bench`) rejects unknown names before here."""
+        assert "0 record(s)" in bench_table("nonsense")
