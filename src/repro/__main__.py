@@ -10,6 +10,8 @@ Subcommands::
     python -m repro cache fsck               # verify cache envelopes
     python -m repro cache gc                 # sweep tmp/quarantine
     python -m repro knobs                    # the runtime knob registry
+    python -m repro serve                    # resident campaign daemon
+    python -m repro submit --scenario NAME   # run via the daemon
 
 ``run`` executes through the campaign engine, so ``REPRO_WORKERS``
 controls the fan-out and ``REPRO_CACHE_DIR`` the result cache; results
@@ -58,16 +60,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _scaled(scenario, args: argparse.Namespace):
     """Apply the CLI's quick-scaling overrides to a catalog scenario."""
-    overrides = {}
-    if args.instructions is not None:
-        overrides["target_instructions"] = args.instructions
-    if args.repeats is not None:
-        overrides["repeats"] = args.repeats
-    if args.sets is not None:
-        import dataclasses
-        overrides["sched"] = dataclasses.replace(
-            scenario.sched, sets_per_point=args.sets)
-    return scenario.replace(**overrides) if overrides else scenario
+    return scenario.scaled(instructions=args.instructions,
+                           repeats=args.repeats, sets=args.sets)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -134,6 +128,94 @@ def _cmd_knobs(args: argparse.Namespace) -> int:
     else:
         print(knobs.knob_table())
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ReproService, ServiceError
+    with knobs.env_override("log_json", args.log_json or None):
+        service = ReproService(max_jobs=args.max_jobs,
+                               job_ttl=args.job_ttl,
+                               workers=args.workers,
+                               cache=None if args.no_cache else "auto")
+        try:
+            if args.pipe:
+                return service.serve_pipe()
+            return service.serve_socket(args.socket)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+
+def _print_submit_result(response: dict) -> int:
+    """Render one finished job the same way ``run`` prints a scenario."""
+    state = response.get("state")
+    if not response.get("ok") or state != "done":
+        detail = response.get("error") or f"job ended {state}"
+        print(f"error: {detail}", file=sys.stderr)
+        return 1
+    doc = response["result"]
+    print(render_report(doc))
+    if response.get("saved"):
+        print(f"saved {response['saved']}")
+    stats = doc.get("stats") or {}
+    print(f"({stats.get('computed', 0)} computed, "
+          f"{stats.get('cached', 0)} cached, "
+          f"{stats.get('workers', 1)} worker(s), "
+          f"{stats.get('seconds', 0.0):.2f}s)\n")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceUnavailable
+    from .service.client import ServiceClient
+    if args.all:
+        names = list(CATALOG)
+    elif args.scenario:
+        names = args.scenario
+    elif not (args.status or args.shutdown):
+        print("submit: pass --scenario NAME (repeatable), --all, "
+              "--status or --shutdown", file=sys.stderr)
+        return 2
+    else:
+        names = []
+    client = ServiceClient(args.socket)
+    try:
+        client.connect(retries=1)
+        if args.status:
+            response = client.request("status")
+            for job in response.get("jobs", []):
+                print(json.dumps(job, sort_keys=True))
+        status = 0
+        job_ids = []
+        for name in names:
+            response = client.request(
+                "submit", scenario=name, seed=args.seed,
+                priority=args.priority, workers=args.workers,
+                instructions=args.instructions, repeats=args.repeats,
+                sets=args.sets)
+            if not response.get("ok"):
+                print(f"error: {response.get('error')}", file=sys.stderr)
+                return 1
+            job_ids.append(response["job"])
+            tag = " (deduplicated)" if response.get("dedup") else ""
+            print(f"submitted {name} as {response['job']}{tag}",
+                  file=sys.stderr)
+        if args.no_wait:
+            for job_id in job_ids:
+                print(job_id)
+        else:
+            for job_id in job_ids:
+                response = client.request("result", job=job_id,
+                                          timeout=args.timeout)
+                status = _print_submit_result(response) or status
+        if args.shutdown:
+            client.request("shutdown")
+        return status
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -237,6 +319,67 @@ def main(argv: "list[str] | None" = None) -> int:
     run.add_argument("--sets", type=int, default=None,
                      help="override sched sets_per_point")
 
+    serve = sub.add_parser(
+        "serve", help="run the resident campaign service daemon "
+                      "(JSON-lines protocol; see EXPERIMENTS.md)")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="unix-domain socket to listen on (default "
+                            "REPRO_SERVE_SOCKET or "
+                            "<repo>/.repro_serve.sock)")
+    serve.add_argument("--pipe", action="store_true",
+                       help="speak the protocol over stdin/stdout "
+                            "instead of a socket (tests, CI)")
+    serve.add_argument("--max-jobs", type=int, default=None,
+                       help="concurrently running jobs (default "
+                            "REPRO_SERVE_MAX_JOBS or 2)")
+    serve.add_argument("--job-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="how long finished jobs stay queryable "
+                            "(default REPRO_SERVE_JOB_TTL or 1 hour)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="campaign workers per job (default "
+                            "REPRO_WORKERS or cpu_count)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="run without the result cache (disables "
+                            "dedup-by-digest and restart resume)")
+    serve.add_argument("--log-json", default=None, metavar="SINK",
+                       help="structured JSON-lines event sink "
+                            "(default REPRO_LOG_JSON or off)")
+
+    submit = sub.add_parser(
+        "submit", help="submit scenarios to a running serve daemon")
+    submit.add_argument("--scenario", action="append", metavar="NAME",
+                        help="catalog scenario to submit (repeatable)")
+    submit.add_argument("--all", action="store_true",
+                        help="submit every catalog scenario")
+    submit.add_argument("--socket", default=None, metavar="PATH",
+                        help="daemon socket (default REPRO_SERVE_SOCKET)")
+    submit.add_argument("--priority", type=int, default=None,
+                        help="job priority; higher runs sooner "
+                             "(default 0)")
+    submit.add_argument("--seed", type=int, default=None,
+                        help="override the scenario's built-in seed")
+    submit.add_argument("--workers", type=int, default=None,
+                        help="campaign workers for these jobs")
+    submit.add_argument("--instructions", type=int, default=None,
+                        help="override target_instructions "
+                             "(quick scaling)")
+    submit.add_argument("--repeats", type=int, default=None,
+                        help="override fault-injection repeats")
+    submit.add_argument("--sets", type=int, default=None,
+                        help="override sched sets_per_point")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print job ids and return instead of "
+                             "waiting for results")
+    submit.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="max wait per job result (default: forever)")
+    submit.add_argument("--status", action="store_true",
+                        help="print the daemon's job table")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="ask the daemon for a graceful "
+                             "drain-and-manifest stop afterwards")
+
     report = sub.add_parser("report", help="re-render saved reports")
     report.add_argument("names", nargs="*", metavar="NAME",
                         help="scenario names (default: all saved), or "
@@ -279,7 +422,8 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run,
                "report": _cmd_report, "cache": _cmd_cache,
-               "knobs": _cmd_knobs}[args.command]
+               "knobs": _cmd_knobs, "serve": _cmd_serve,
+               "submit": _cmd_submit}[args.command]
     try:
         # fail fast on misspelled REPRO_* names or malformed values
         # before any work starts

@@ -57,7 +57,7 @@ from .engine import (
     run_grouped_campaign,
     spawn_seed,
 )
-from .supervisor import ChaosConfig, ChaosError, UnitFailure
+from .supervisor import ChaosConfig, ChaosError, UnitFailure, WorkerPool
 
 __all__ = [
     "CampaignError",
@@ -68,6 +68,7 @@ __all__ = [
     "ChaosError",
     "ResultCache",
     "UnitFailure",
+    "WorkerPool",
     "campaign_manifest_key",
     "canonical_json",
     "chaos_from_env",

@@ -123,12 +123,15 @@ class ResultCache:
         """
         path = self.path_for(digest)
         try:
-            with open(path) as fh:
-                data = json.load(fh)
+            with open(path, "rb") as fh:
+                data = json.loads(fh.read().decode("utf-8"))
         except FileNotFoundError:
             events.emit("cache.miss", digest=digest)
             return default
-        except json.JSONDecodeError:
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            # invalid UTF-8 is just another shape of on-disk corruption
+            # (a bit-flipped byte can land anywhere): quarantine, never
+            # let UnicodeDecodeError escape and crash the campaign
             events.emit("cache.corrupt", digest=digest,
                         reason="undecodable")
             self.quarantine(path, reason="undecodable")
@@ -179,7 +182,11 @@ class ResultCache:
             os.replace(path, dest)
         except OSError:
             return None   # lost a race with another reader: same outcome
-        events.emit("cache.quarantine", digest=path.stem,
+        # the digest is everything before the first dot: ``stem`` would
+        # leave the pid suffix on ``<digest>.tmp.<pid>`` litter paths
+        # and the event log would no longer join against the cache
+        events.emit("cache.quarantine",
+                    digest=path.name.partition(".")[0],
                     reason=reason, dest=str(dest))
         return dest
 
@@ -200,9 +207,9 @@ class ResultCache:
         for path in self.entries():
             checked += 1
             try:
-                with open(path) as fh:
-                    data = json.load(fh)
-            except json.JSONDecodeError:
+                with open(path, "rb") as fh:
+                    data = json.loads(fh.read().decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
                 self.quarantine(path, reason="undecodable")
                 quarantined.append(path.name)
                 continue

@@ -42,6 +42,7 @@ stale entries automatically.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import multiprocessing
 import signal
@@ -58,6 +59,7 @@ from .supervisor import (
     ChaosConfig,
     SupervisorReport,
     UnitFailure,
+    WorkerPool,
     normalize_payload,
     run_serial,
     run_supervised,
@@ -288,7 +290,10 @@ def run_campaign(fn: Callable[[Any, int], Any], specs: Sequence[Any], *,
                  unit_timeout: Optional[float] = None,
                  max_retries: Optional[int] = None,
                  retry_backoff: Optional[float] = None,
-                 strict: Optional[bool] = None) -> CampaignRun:
+                 strict: Optional[bool] = None,
+                 pool: Optional[WorkerPool] = None,
+                 shutdown_event: Optional[threading.Event] = None,
+                 ) -> CampaignRun:
     """Execute every unit of a campaign grid; see the module docstring.
 
     ``fn`` may carry a ``campaign_version`` attribute (default ``"1"``);
@@ -298,6 +303,15 @@ def run_campaign(fn: Callable[[Any, int], Any], specs: Sequence[Any], *,
     ``unit_timeout``/``max_retries``/``retry_backoff``/``strict``
     default to their ``REPRO_*`` environment knobs.  All four are
     execution-only: they never perturb spawn seeds or cache digests.
+
+    ``pool`` keeps worker processes alive across campaigns (the
+    resident ``repro serve`` path); it is only consulted when the
+    campaign would use processes anyway, so results stay bit-identical
+    with and without one.  ``shutdown_event`` hands interruption policy
+    to the caller: when provided, no signal handlers are installed and
+    setting the event triggers the same graceful drain-and-manifest
+    path SIGINT/SIGTERM would (a service daemon sets it per job for
+    cancellation and for its own shutdown).
     """
     fn_ref = _fn_ref(fn)
     version = str(getattr(fn, "campaign_version", "1"))
@@ -363,14 +377,21 @@ def run_campaign(fn: Callable[[Any, int], Any], specs: Sequence[Any], *,
     # the default serial story.
     use_processes = bool(pending) and (
         n_workers > 1 or unit_timeout is not None or chaos is not None)
+    # A shared pool's workers were spawned with the pool's chaos spec;
+    # a campaign arming a different one must not inherit them.
+    chaos_spec = None if chaos is None else dataclasses.asdict(chaos)
+    if pool is not None and pool.chaos_spec != chaos_spec:
+        pool = None
 
-    shutdown = threading.Event()
+    shutdown = shutdown_event if shutdown_event is not None \
+        else threading.Event()
     installed: list[tuple[int, Any]] = []
 
     def _request_shutdown(signum, frame):
         shutdown.set()
 
-    if threading.current_thread() is threading.main_thread():
+    if (shutdown_event is None
+            and threading.current_thread() is threading.main_thread()):
         for sig in (signal.SIGINT, signal.SIGTERM):
             try:
                 installed.append((sig, signal.signal(sig,
@@ -381,14 +402,15 @@ def run_campaign(fn: Callable[[Any, int], Any], specs: Sequence[Any], *,
         if not pending:
             report = SupervisorReport()
         elif use_processes:
-            ctx = multiprocessing.get_context(_start_method())
+            ctx = pool.ctx if pool is not None \
+                else multiprocessing.get_context(_start_method())
             report = run_supervised(
                 pending, workers=n_workers, ctx=ctx, record=_record,
                 max_retries=max_retries, retry_backoff=retry_backoff,
                 unit_timeout=unit_timeout, chaos=chaos,
                 chunk_size=effective_chunk,
                 shutdown_grace=default_shutdown_grace(),
-                shutdown_event=shutdown)
+                shutdown_event=shutdown, pool=pool)
         else:
             report = run_serial(
                 pending, record=_record, max_retries=max_retries,
@@ -462,6 +484,8 @@ def run_grouped_campaign(fn: Callable[[Any, int], Any],
                          max_retries: Optional[int] = None,
                          retry_backoff: Optional[float] = None,
                          strict: Optional[bool] = None,
+                         pool: Optional[WorkerPool] = None,
+                         shutdown_event: Optional[threading.Event] = None,
                          ) -> tuple[dict[str, list], CampaignStats]:
     """Run several spec groups as **one** flat campaign.
 
@@ -477,7 +501,8 @@ def run_grouped_campaign(fn: Callable[[Any, int], Any],
     run = run_campaign(fn, flat, seed=seed, workers=workers, cache=cache,
                        chunk_size=chunk_size, unit_timeout=unit_timeout,
                        max_retries=max_retries,
-                       retry_backoff=retry_backoff, strict=strict)
+                       retry_backoff=retry_backoff, strict=strict,
+                       pool=pool, shutdown_event=shutdown_event)
     sliced: dict[str, list] = {}
     offset = 0
     for key, specs in groups.items():

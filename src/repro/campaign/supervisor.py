@@ -329,6 +329,85 @@ class _Worker:
 
 
 # ---------------------------------------------------------------------------
+# the reusable worker pool
+# ---------------------------------------------------------------------------
+
+
+class WorkerPool:
+    """A persistent set of supervised worker processes.
+
+    One campaign used to spawn its workers on entry and tear them all
+    down on exit — fine for a one-shot CLI, pure overhead for a
+    resident service running thousands of campaigns.  A ``WorkerPool``
+    outlives individual campaigns: :func:`run_supervised` (and
+    ``run_campaign(pool=...)`` above it) *leases* workers from the
+    pool and releases them back when the campaign completes, so the
+    next campaign reuses warm processes (imports done, unit functions
+    resolved).  Workers are spawned lazily on first lease, never
+    up-front, so an unused pool costs nothing.
+
+    Only clean workers are reused: a worker holding an undelivered
+    batch (interrupted campaign) or one whose process died is killed
+    on release and never returned to the idle set.  The pool is
+    thread-safe — a multi-job daemon leases from several supervisor
+    threads at once.
+    """
+
+    def __init__(self, ctx, chaos_spec: Optional[dict] = None):
+        self.ctx = ctx
+        self.chaos_spec = chaos_spec
+        self._idle: list[_Worker] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def lease(self, n: int) -> "list[_Worker]":
+        """``n`` live workers: warm ones first, fresh spawns after."""
+        leased: list[_Worker] = []
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            while self._idle and len(leased) < n:
+                worker = self._idle.pop()
+                if worker.process.is_alive() and not worker.batch:
+                    leased.append(worker)
+                else:  # died while idle: reap, lease a fresh one below
+                    worker.shutdown(kill=True)
+        while len(leased) < n:
+            leased.append(self.spawn())
+        return leased
+
+    def spawn(self) -> _Worker:
+        """One fresh worker (also the mid-campaign respawn path)."""
+        return _Worker(self.ctx, self.chaos_spec)
+
+    def release(self, workers: Sequence[_Worker], *,
+                kill: bool = False) -> None:
+        """Return leased workers; dirty or dead ones are discarded."""
+        for worker in workers:
+            reusable = (not kill and not worker.batch
+                        and worker.process.is_alive())
+            if reusable:
+                with self._lock:
+                    if not self._closed:
+                        self._idle.append(worker)
+                        continue
+            worker.shutdown(kill=kill)
+
+    @property
+    def idle_workers(self) -> "list[_Worker]":
+        with self._lock:
+            return list(self._idle)
+
+    def close(self) -> None:
+        """Shut down every idle worker; subsequent leases fail."""
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for worker in idle:
+            worker.shutdown()
+
+
+# ---------------------------------------------------------------------------
 # the supervisor loops
 # ---------------------------------------------------------------------------
 
@@ -339,7 +418,8 @@ class _Supervisor:
                  retry_backoff: float, unit_timeout: Optional[float],
                  chaos: Optional[ChaosConfig], chunk_size: int,
                  shutdown_grace: float,
-                 shutdown_event: Optional[threading.Event]):
+                 shutdown_event: Optional[threading.Event],
+                 pool: Optional[WorkerPool] = None):
         self.units = list(units)
         self.ctx = ctx
         self.record = record
@@ -356,8 +436,10 @@ class _Supervisor:
         self.completed: set[int] = set()
         self.quarantined: set[int] = set()
         self.report = SupervisorReport()
-        self.workers = [_Worker(ctx, self.chaos_spec)
-                        for _ in range(workers)]
+        self._own_pool = pool is None
+        self.pool = pool if pool is not None \
+            else WorkerPool(ctx, self.chaos_spec)
+        self.workers = self.pool.lease(workers)
 
     # -- result handling ----------------------------------------------------
 
@@ -430,7 +512,7 @@ class _Supervisor:
         events.emit("worker.death", worker=worker.process.pid,
                     reason=f"{error_type}: {message}")
         worker.shutdown(kill=True)
-        replacement = _Worker(self.ctx, self.chaos_spec)
+        replacement = self.pool.spawn()
         self.workers[self.workers.index(worker)] = replacement
         events.emit("worker.respawn", worker=replacement.process.pid)
 
@@ -510,8 +592,10 @@ class _Supervisor:
                 if not self._tick():
                     time.sleep(_POLL_S)
         finally:
-            for worker in self.workers:
-                worker.shutdown(kill=self.report.interrupted)
+            self.pool.release(self.workers,
+                              kill=self.report.interrupted)
+            if self._own_pool:
+                self.pool.close()
         self.report.outstanding = sorted(
             unit.index for unit in self.units
             if unit.index not in self.completed
@@ -526,16 +610,21 @@ def run_supervised(units: Sequence[tuple], *, workers: int, ctx,
                    chaos: Optional[ChaosConfig] = None,
                    chunk_size: int = 1, shutdown_grace: float = 5.0,
                    shutdown_event: Optional[threading.Event] = None,
+                   pool: Optional[WorkerPool] = None,
                    ) -> SupervisorReport:
     """Supervise ``units`` (``(index, fn_ref, spec, rng_seed, digest)``
     tuples) across ``workers`` processes; ``record(index, payload)`` is
-    invoked for every success, as results arrive."""
+    invoked for every success, as results arrive.  A ``pool`` makes the
+    worker processes outlive this call (leased on entry, released on
+    exit) — the resident-service path; without one, workers are spawned
+    and torn down per call exactly as before."""
     wrapped = [_Unit(*item) for item in units]
     supervisor = _Supervisor(
         wrapped, workers=workers, ctx=ctx, record=record,
         max_retries=max_retries, retry_backoff=retry_backoff,
         unit_timeout=unit_timeout, chaos=chaos, chunk_size=chunk_size,
-        shutdown_grace=shutdown_grace, shutdown_event=shutdown_event)
+        shutdown_grace=shutdown_grace, shutdown_event=shutdown_event,
+        pool=pool)
     return supervisor.run()
 
 

@@ -25,17 +25,25 @@ Design constraints, in order:
   ``write()`` calls of one ``\\n``-terminated line (atomic for sane
   line lengths on POSIX), so concurrent writers interleave whole
   events, never fragments.
+
+Besides the file sink, in-process consumers can :func:`subscribe` a
+callback and receive every validated event record as a dict, in the
+emitting thread — the fan-out the ``repro serve`` daemon uses to
+stream per-job progress to clients without forcing a file sink on.
+Subscriber exceptions are swallowed (same contract as a failing
+sink): telemetry must never take the computation down.
 """
 
 from __future__ import annotations
 
 import io
+import itertools
 import json
 import os
 import sys
 import threading
 import time
-from typing import Any, Optional, TextIO
+from typing import Any, Callable, Mapping, Optional, TextIO
 
 from . import knobs
 
@@ -69,7 +77,32 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "scenario.end": ("scenario", "kind", "seconds"),
     # perf trajectories
     "bench.sample": ("bench", "metrics"),
+    # service daemon (`repro serve`) job lifecycle
+    "job.submit": ("job", "scenario", "priority"),
+    "job.dedup": ("job", "scenario"),
+    "job.start": ("job", "scenario"),
+    "job.end": ("job", "scenario", "state", "seconds"),
+    "job.cancel": ("job", "state"),
+    "serve.start": ("mode",),
+    "serve.stop": ("reason", "jobs"),
 }
+
+
+def build_record(event: str, fields: Mapping[str, Any]) -> dict:
+    """Validate one event against :data:`EVENT_SCHEMA` and wrap it in
+    the common envelope.  Shared by the file sink and the subscriber
+    fan-out so both see exactly the same schema discipline."""
+    required = EVENT_SCHEMA.get(event)
+    if required is None:
+        raise ValueError(
+            f"unknown event {event!r}; add it to EVENT_SCHEMA")
+    missing = [f for f in required if f not in fields]
+    if missing:
+        raise ValueError(
+            f"event {event!r} missing required field(s): "
+            f"{', '.join(missing)}")
+    return {"event": event, "ts": round(time.time(), 6),
+            "pid": os.getpid(), **fields}
 
 
 class EventBus:
@@ -88,27 +121,24 @@ class EventBus:
     def emit(self, event: str, /, **fields: Any) -> None:
         if self._sink is None:
             return
-        required = EVENT_SCHEMA.get(event)
-        if required is None:
-            raise ValueError(
-                f"unknown event {event!r}; add it to EVENT_SCHEMA")
-        missing = [f for f in required if f not in fields]
-        if missing:
-            raise ValueError(
-                f"event {event!r} missing required field(s): "
-                f"{', '.join(missing)}")
-        record = {"event": event, "ts": round(time.time(), 6),
-                  "pid": os.getpid(), **fields}
+        self.write_record(build_record(event, fields))
+
+    def write_record(self, record: dict) -> None:
+        """Append one already-validated record to the sink."""
+        if self._sink is None:
+            return
         line = json.dumps(record, sort_keys=True, default=str,
                           separators=(",", ":")) + "\n"
         with self._lock:
             try:
                 self._sink.write(line)
                 self._sink.flush()
-            except ValueError:
+            except (ValueError, OSError):
                 # sink closed underneath us (interpreter teardown,
-                # test capture swap) — telemetry must never take the
-                # computation down with it
+                # test capture swap), or the write itself failed (full
+                # disk, closed pipe) — telemetry must never take the
+                # computation down with it, so the sink is disabled
+                # rather than letting the error reach the unit
                 self._sink = None
 
     def close(self) -> None:
@@ -160,6 +190,52 @@ def get_bus() -> EventBus:
         return bus
 
 
+# ---------------------------------------------------------------------------
+# in-process subscriber fan-out
+# ---------------------------------------------------------------------------
+
+_subscribers: dict[int, Callable[[dict], None]] = {}
+_subscriber_tokens = itertools.count(1)
+_subscriber_lock = threading.Lock()
+
+
+def subscribe(callback: Callable[[dict], None]) -> int:
+    """Register an in-process consumer of every emitted event record.
+
+    The callback runs synchronously in the emitting thread with the
+    validated record dict (the same object the file sink serialises);
+    it must treat the record as read-only.  Returns a token for
+    :func:`unsubscribe`.  Callback exceptions are swallowed — a broken
+    consumer must never fail the computation that emitted the event.
+    """
+    with _subscriber_lock:
+        token = next(_subscriber_tokens)
+        _subscribers[token] = callback
+    return token
+
+
+def unsubscribe(token: int) -> None:
+    """Remove one subscriber (unknown tokens are ignored)."""
+    with _subscriber_lock:
+        _subscribers.pop(token, None)
+
+
 def emit(event: str, /, **fields: Any) -> None:
-    """Publish one event to the current sink (no-op when disabled)."""
-    get_bus().emit(event, **fields)
+    """Publish one event to the sink and all subscribers.
+
+    Free when nothing listens: one cached-bus attribute check plus an
+    empty-dict truthiness test, no record construction.
+    """
+    bus = get_bus()
+    if bus._sink is None and not _subscribers:
+        return
+    record = build_record(event, fields)
+    bus.write_record(record)
+    if _subscribers:
+        with _subscriber_lock:
+            callbacks = list(_subscribers.values())
+        for callback in callbacks:
+            try:
+                callback(record)
+            except Exception:
+                pass

@@ -202,7 +202,9 @@ def run_scenario(scenario: Scenario, *,
                  engine: Optional[str] = None,
                  unit_timeout: Optional[float] = None,
                  max_retries: Optional[int] = None,
-                 strict: Optional[bool] = None) -> ScenarioResult:
+                 strict: Optional[bool] = None,
+                 pool: Optional[object] = None,
+                 shutdown_event: Optional[object] = None) -> ScenarioResult:
     """Run one scenario end-to-end through the campaign engine.
 
     ``seed`` overrides the scenario's built-in seed (the catalog tables
@@ -215,13 +217,17 @@ def run_scenario(scenario: Scenario, *,
     execution engine tier (default ``REPRO_CORE_ENGINE`` / decoded).
     ``unit_timeout``/``max_retries``/``strict`` are the campaign
     fault-tolerance knobs (defaults ``REPRO_UNIT_TIMEOUT`` /
-    ``REPRO_MAX_RETRIES`` / ``REPRO_CAMPAIGN_STRICT``).  Results are
-    independent of every one of them — they are execution knobs, never
-    part of scenario identity.
+    ``REPRO_MAX_RETRIES`` / ``REPRO_CAMPAIGN_STRICT``).  ``pool``
+    reuses a warm :class:`repro.campaign.WorkerPool` across scenarios
+    (the service daemon's amortised fan-out) and ``shutdown_event`` is
+    an external drain trigger for callers that run scenarios off the
+    main thread.  Results are independent of every one of them — they
+    are execution knobs, never part of scenario identity.
     """
     run_seed = scenario.seed if seed is None else seed
     campaign_kw = {"unit_timeout": unit_timeout,
-                   "max_retries": max_retries, "strict": strict}
+                   "max_retries": max_retries, "strict": strict,
+                   "pool": pool, "shutdown_event": shutdown_event}
     events.emit("scenario.start", scenario=scenario.name,
                 kind=scenario.kind, seed=run_seed)
     started = time.perf_counter()

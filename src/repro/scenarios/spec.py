@@ -184,6 +184,28 @@ class Scenario:
         """A copy with top-level fields overridden (test-time scaling)."""
         return dataclasses.replace(self, **kwargs)
 
+    def scaled(self, *, instructions: Optional[int] = None,
+               repeats: Optional[int] = None,
+               sets: Optional[int] = None) -> "Scenario":
+        """A cheaper copy of the scenario for smoke runs.
+
+        ``instructions`` caps ``target_instructions``, ``repeats``
+        overrides the repeat count, and ``sets`` shrinks the sched
+        grid's ``sets_per_point``.  ``None`` leaves a field untouched,
+        so ``scenario.scaled()`` is the identity.  Scaling changes
+        scenario identity (and therefore cache digests) — it is a
+        different, smaller experiment, not an execution knob.
+        """
+        scenario = self
+        if instructions is not None:
+            scenario = scenario.replace(target_instructions=instructions)
+        if repeats is not None:
+            scenario = scenario.replace(repeats=repeats)
+        if sets is not None:
+            scenario = scenario.replace(sched=dataclasses.replace(
+                scenario.sched, sets_per_point=sets))
+        return scenario
+
     # -- JSON round-trip ------------------------------------------------
 
     def to_dict(self) -> dict:

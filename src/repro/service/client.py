@@ -1,0 +1,92 @@
+"""Client side of the service protocol — ``python -m repro submit``.
+
+:class:`ServiceClient` speaks the JSON-lines request/response protocol
+of :mod:`repro.service.daemon` over the unix-domain socket, one
+request at a time on a persistent connection.  The CLI glue in
+``repro.__main__`` builds on it; tests drive it directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import time
+from typing import Any, Optional
+
+from ..errors import ReproError
+from ..runtime import knobs
+
+
+class ServiceUnavailable(ReproError):
+    """No daemon is listening on the service socket."""
+
+
+class ServiceClient:
+    """A persistent connection to one ``repro serve`` daemon."""
+
+    def __init__(self, socket_path=None):
+        self.path = str(socket_path if socket_path is not None
+                        else knobs.value("serve_socket"))
+        self._ids = itertools.count(1)
+        self._sock: Optional[socket.socket] = None
+        self._stream = None
+
+    def connect(self, *, retries: int = 50,
+                delay: float = 0.1) -> "ServiceClient":
+        """Connect, waiting briefly for a daemon that is still binding."""
+        last: Optional[OSError] = None
+        for attempt in range(max(1, retries)):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                sock.connect(self.path)
+            except OSError as exc:
+                sock.close()
+                last = exc
+                if attempt + 1 < retries:
+                    time.sleep(delay)
+                continue
+            self._sock = sock
+            self._stream = sock.makefile("rw", encoding="utf-8")
+            return self
+        raise ServiceUnavailable(
+            f"no service daemon on {self.path} ({last}); start one "
+            "with `python -m repro serve`")
+
+    def request(self, cmd: str, **fields: Any) -> dict:
+        """One round-trip; ``None``-valued fields are elided."""
+        if self._stream is None:
+            self.connect()
+        body = {"id": next(self._ids), "cmd": cmd,
+                **{k: v for k, v in fields.items() if v is not None}}
+        try:
+            self._stream.write(json.dumps(body) + "\n")
+            self._stream.flush()
+            line = self._stream.readline()
+        except OSError as exc:
+            raise ServiceUnavailable(
+                f"service connection lost: {exc}") from None
+        if not line:
+            raise ServiceUnavailable(
+                "service closed the connection (daemon shut down?)")
+        return json.loads(line)
+
+    def close(self) -> None:
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+            self._stream = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

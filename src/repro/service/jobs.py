@@ -1,0 +1,292 @@
+"""Job bookkeeping for the resident campaign service.
+
+A **job** is one scenario run requested over the service protocol:
+a :class:`~repro.scenarios.spec.Scenario` plus the seed it runs under,
+a scheduling priority, and the lifecycle state machine
+
+    QUEUED -> RUNNING -> DONE | FAILED
+    QUEUED | RUNNING -> CANCELLED (client request)
+    QUEUED | RUNNING -> INTERRUPTED (daemon drain on SIGINT/SIGTERM)
+
+The :class:`JobTable` is the daemon's single source of truth: a
+priority queue of runnable jobs (max-heap over ``priority``, FIFO
+within a priority level, lazy deletion for cancelled entries), an
+in-memory **dedup index** keyed on the digest of ``(scenario, seed)``
+so concurrent submissions of the same work collapse onto one job while
+it is still queued or running, and a TTL sweep that forgets finished
+jobs after ``REPRO_SERVE_JOB_TTL`` seconds.
+
+Dedup is deliberately scoped to *live* jobs: once a job finishes, a
+resubmission becomes a fresh job whose campaign units replay from the
+shared on-disk :class:`~repro.campaign.cache.ResultCache` — the event
+log then proves the zero-recompute path with ``cache.hit`` records,
+which an in-memory answer could not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..campaign.cache import canonical_json
+from ..scenarios.spec import Scenario
+
+#: Lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+INTERRUPTED = "interrupted"
+
+#: States a job can still leave.
+ACTIVE_STATES = (QUEUED, RUNNING)
+#: Terminal states (the TTL sweep only ever forgets these).
+FINISHED_STATES = (DONE, FAILED, CANCELLED, INTERRUPTED)
+
+#: Per-job event-buffer cap: old records fall off the front, the
+#: ``events`` command reports the drop so a tailing client knows.
+MAX_JOB_EVENTS = 1000
+
+
+def job_key(scenario: Scenario, seed: int) -> str:
+    """The dedup digest of one unit of requested work.
+
+    Everything that changes the result is in ``scenario.to_dict()``
+    (execution knobs are deliberately outside scenario identity), so
+    two requests with equal keys are guaranteed to want the same
+    payload.
+    """
+    ident = canonical_json([scenario.to_dict(), seed])
+    return hashlib.sha256(ident.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Job:
+    """One submitted scenario run and everything observed about it."""
+
+    id: str
+    key: str
+    scenario: Scenario
+    seed: int
+    priority: int = 0
+    workers: Optional[int] = None
+    state: str = QUEUED
+    result: Optional[dict] = None       # ScenarioResult.to_dict()
+    saved: Optional[str] = None         # report path, when persisted
+    error: Optional[str] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Structured event records routed to this job (bounded ring).
+    events: list = field(default_factory=list)
+    #: How many records fell off the front of ``events``.
+    events_dropped: int = 0
+    #: Drain trigger handed to the campaign engine: cancelling a
+    #: RUNNING job or shutting the daemon down sets it.
+    shutdown: threading.Event = field(default_factory=threading.Event)
+
+    def describe(self) -> dict:
+        """The JSON shape of ``status`` responses."""
+        doc = {
+            "job": self.id,
+            "key": self.key,
+            "scenario": self.scenario.name,
+            "seed": self.seed,
+            "priority": self.priority,
+            "state": self.state,
+            "submitted_at": round(self.submitted_at, 3),
+        }
+        if self.started_at is not None:
+            doc["started_at"] = round(self.started_at, 3)
+        if self.finished_at is not None:
+            doc["finished_at"] = round(self.finished_at, 3)
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.saved is not None:
+            doc["saved"] = self.saved
+        return doc
+
+    def add_event(self, record: dict) -> None:
+        self.events.append(record)
+        overflow = len(self.events) - MAX_JOB_EVENTS
+        if overflow > 0:
+            del self.events[:overflow]
+            self.events_dropped += overflow
+
+
+class JobTable:
+    """Thread-safe job store + priority queue + dedup index."""
+
+    def __init__(self, *, ttl: Optional[float] = None):
+        self.ttl = ttl
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._live: dict[str, str] = {}     # dedup key -> live job id
+        self._heap: list[tuple[int, int, str]] = []
+        self._ids = itertools.count(1)
+        self._seq = itertools.count(1)
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, scenario: Scenario, seed: int, *,
+               priority: int = 0, workers: Optional[int] = None,
+               ) -> tuple[Job, bool]:
+        """Enqueue one scenario run; returns ``(job, deduped)``.
+
+        A submission whose ``(scenario, seed)`` digest matches a job
+        that is still queued or running returns *that* job — one
+        computation serves every concurrent requester.  Finished jobs
+        never dedup: the resubmission replays from the on-disk cache
+        instead (see module docstring).
+        """
+        key = job_key(scenario, seed)
+        with self._cond:
+            self._prune_locked()
+            live = self._live.get(key)
+            if live is not None and self._jobs[live].state in ACTIVE_STATES:
+                return self._jobs[live], True
+            job = Job(id=f"j{next(self._ids)}", key=key,
+                      scenario=scenario, seed=seed, priority=priority,
+                      workers=workers, submitted_at=time.time())
+            self._jobs[job.id] = job
+            self._live[key] = job.id
+            heapq.heappush(self._heap,
+                           (-priority, next(self._seq), job.id))
+            self._cond.notify_all()
+            return job, False
+
+    # -- the runner side ----------------------------------------------------
+
+    def next_job(self, timeout: float) -> Optional[Job]:
+        """Claim the highest-priority queued job, or ``None`` on timeout.
+
+        Cancelled entries are skipped lazily; the claimed job comes
+        back already in RUNNING state.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    job = self._jobs.get(job_id)
+                    if job is not None and job.state == QUEUED:
+                        job.state = RUNNING
+                        job.started_at = time.time()
+                        return job
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+
+    def finish(self, job: Job, state: str, *,
+               result: Optional[dict] = None, saved: Optional[str] = None,
+               error: Optional[str] = None) -> None:
+        """Move a job into a terminal state and wake every waiter."""
+        with self._cond:
+            job.state = state
+            job.result = result
+            job.saved = saved
+            job.error = error
+            job.finished_at = time.time()
+            if self._live.get(job.key) == job.id:
+                del self._live[job.key]
+            self._cond.notify_all()
+
+    # -- client-facing queries ----------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(),
+                          key=lambda j: j.submitted_at)
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel one job.
+
+        QUEUED jobs flip to CANCELLED immediately (their heap entry is
+        skipped lazily).  RUNNING jobs get their drain event set — the
+        campaign engine finishes in-flight units, writes its manifest
+        and the runner marks the job CANCELLED.  Finished jobs are
+        returned unchanged.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state == QUEUED:
+                job.state = CANCELLED
+                job.finished_at = time.time()
+                if self._live.get(job.key) == job.id:
+                    del self._live[job.key]
+                self._cond.notify_all()
+            elif job.state == RUNNING:
+                job.shutdown.set()
+            return job
+
+    def wait(self, job: Job, timeout: Optional[float] = None,
+             poll: float = 0.2, stop: Optional[threading.Event] = None,
+             ) -> bool:
+        """Block until ``job`` reaches a terminal state.
+
+        Returns ``False`` on timeout or when ``stop`` is set first
+        (the daemon's shutdown must be able to unblock waiters).
+        """
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        with self._cond:
+            while job.state not in FINISHED_STATES:
+                if stop is not None and stop.is_set():
+                    return False
+                remaining = poll
+                if deadline is not None:
+                    remaining = min(poll, deadline - time.monotonic())
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(remaining)
+            return True
+
+    # -- shutdown support ---------------------------------------------------
+
+    def unfinished(self) -> list[Job]:
+        """Every job that has not reached a terminal state."""
+        with self._lock:
+            return [j for j in self._jobs.values()
+                    if j.state in ACTIVE_STATES]
+
+    def interrupt(self, job: Job) -> None:
+        """Mark one job INTERRUPTED (daemon drain path)."""
+        with self._cond:
+            if job.state in ACTIVE_STATES:
+                job.state = INTERRUPTED
+                job.finished_at = time.time()
+                if self._live.get(job.key) == job.id:
+                    del self._live[job.key]
+                self._cond.notify_all()
+
+    # -- TTL ----------------------------------------------------------------
+
+    def prune(self) -> int:
+        """Forget finished jobs older than the TTL; returns the count."""
+        with self._lock:
+            return self._prune_locked()
+
+    def _prune_locked(self) -> int:
+        if self.ttl is None:
+            return 0
+        cutoff = time.time() - self.ttl
+        stale = [job_id for job_id, job in self._jobs.items()
+                 if job.state in FINISHED_STATES
+                 and (job.finished_at or 0.0) < cutoff]
+        for job_id in stale:
+            del self._jobs[job_id]
+        return len(stale)

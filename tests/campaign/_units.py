@@ -43,6 +43,11 @@ def none_unit(spec: dict, rng_seed: int) -> None:
     return None
 
 
+def pid_unit(spec: dict, rng_seed: int) -> dict:
+    """Returns the worker pid — proves warm-pool reuse across campaigns."""
+    return {"i": spec["i"], "pid": os.getpid()}
+
+
 def failing_unit(spec: dict, rng_seed: int) -> int:
     if spec["i"] == spec["fail_at"]:
         raise RuntimeError(f"unit {spec['i']} exploded")

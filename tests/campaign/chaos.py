@@ -37,10 +37,13 @@ class CacheCorruptor(threading.Thread):
     """Background thread that batters a live cache directory.
 
     Every ``interval_s`` it picks one cache entry (seeded RNG — the
-    damage pattern replays) and either truncates it mid-JSON or
-    rewrites it as a well-formed envelope whose checksum is wrong: the
-    two corruption shapes the checksum envelope must catch.  Paths it
-    touched are recorded in ``corrupted``.
+    damage pattern replays) and applies one of the three corruption
+    shapes the cache must catch: truncation mid-JSON, a well-formed
+    envelope whose checksum is wrong, or raw non-UTF-8 garbage (a
+    bit-flipped byte lands anywhere, including inside a multi-byte
+    sequence — the read path must quarantine, not raise
+    ``UnicodeDecodeError``).  Paths it touched are recorded in
+    ``corrupted``.
     """
 
     def __init__(self, root: Path | str, *, seed: int = 0,
@@ -58,13 +61,21 @@ class CacheCorruptor(threading.Thread):
             if entries:
                 victim = self.rng.choice(entries)
                 try:
-                    if self.rng.random() < 0.5:
+                    shape = self.rng.randrange(3)
+                    if shape == 0:
                         with open(victim, "r+") as fh:
                             fh.truncate(self.rng.randrange(1, 16))
-                    else:
+                    elif shape == 1:
                         victim.write_text(
                             '{"v":1,"sha256":"' + "0" * 64
                             + '","payload":[1,2,3]}')
+                    else:
+                        # invalid UTF-8: 0xff/0xfe can never appear in
+                        # a UTF-8 stream
+                        victim.write_bytes(
+                            b'\xff\xfe{"v":1,' + bytes(
+                                self.rng.randrange(256)
+                                for _ in range(8)))
                     self.corrupted.append(victim.name)
                 except OSError:
                     pass   # lost a race with a reader/writer: fine

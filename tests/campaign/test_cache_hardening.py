@@ -61,6 +61,56 @@ class TestEnvelope:
         assert corpse.name.endswith(".undecodable")
         assert corpse.read_text() == '{"v": 1, "sha2'   # evidence kept
 
+    def test_non_utf8_entry_quarantined_not_raised(self, cache):
+        """Regression: a bit-flipped byte inside a multi-byte sequence
+        used to escape as ``UnicodeDecodeError`` and crash the campaign
+        instead of being treated as the on-disk corruption it is."""
+        path = cache.path_for(DIGEST)
+        path.parent.mkdir(parents=True)
+        garbage = b'\xff\xfe{"v":1,"payload"'
+        path.write_bytes(garbage)
+        assert cache.get(DIGEST, "MISS") == "MISS"
+        assert not path.exists()
+        [corpse] = cache.quarantine_dir.iterdir()
+        assert corpse.name.endswith(".undecodable")
+        assert corpse.read_bytes() == garbage          # evidence kept
+
+    def test_fsck_handles_non_utf8_entries(self, cache):
+        cache.put(DIGEST, {"x": 1})
+        bad = cache.path_for(OTHER)
+        bad.parent.mkdir(parents=True, exist_ok=True)
+        bad.write_bytes(b"\xff\xfe\xfd garbage")
+        report = cache.fsck()
+        assert report["checked"] == 2
+        assert report["ok"] == 1
+        assert report["quarantined"] == [bad.name]
+
+
+class TestQuarantineEvents:
+    def test_quarantine_event_digest_is_normalised(self, cache,
+                                                   tmp_path,
+                                                   monkeypatch):
+        """Regression: quarantining ``<digest>.tmp.<pid>`` litter used
+        to emit ``digest="<digest>.tmp"`` (``Path.stem`` strips one
+        suffix only), so the event log no longer joined against the
+        cache.  The digest is everything before the first dot."""
+        from repro.runtime import events
+        records = []
+        token = events.subscribe(records.append)
+        try:
+            entry = cache.path_for(DIGEST)
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            entry.write_text("{nope")
+            cache.quarantine(entry, reason="undecodable")
+            litter = entry.parent / f"{OTHER}.tmp.12345"
+            litter.write_text("half-written")
+            cache.quarantine(litter, reason="stale-tmp")
+        finally:
+            events.unsubscribe(token)
+        digests = [r["digest"] for r in records
+                   if r["event"] == "cache.quarantine"]
+        assert digests == [DIGEST, OTHER]
+
 
 class TestTransientErrors:
     def test_transient_oserror_leaves_entry_in_place(self, cache,

@@ -1,18 +1,29 @@
-"""Two independent campaign processes racing one cache root.
+"""Independent campaign processes racing one cache root.
 
 The cache's claims — atomic renames, idempotent duplicate writes,
-torn-read detection — only matter under real concurrency, so this test
-makes it real: two OS processes each run the *same* grid against the
-*same* cache directory at the same time, with their own worker pools.
-Both must finish with oracle-identical results, and the shared cache
-must come out exactly consistent (one entry per unit, fsck clean)."""
+torn-read detection — only matter under real concurrency, so these
+tests make it real: separate OS processes (two batch campaigns, or a
+resident service daemon plus a one-shot CLI) work the *same* grid
+against the *same* cache directory.  Everyone must finish with
+oracle-identical results, and the shared cache must come out exactly
+consistent (one entry per unit, fsck clean)."""
 
+import json
 import multiprocessing
 import os
+import subprocess
+import sys
 
 import pytest
 
 from repro.campaign import ResultCache, run_campaign
+from tests.service.test_pipe import (
+    REPO_ROOT,
+    SCENARIO,
+    UNITS,
+    PipeDaemon,
+    result_identity,
+)
 
 from . import _units
 
@@ -66,3 +77,48 @@ def test_concurrent_campaigns_share_a_cache_root(tmp_path):
     assert replay.stats.cached == len(SPECS)
     assert replay.stats.computed == 0
     assert replay.results == oracle.results
+
+
+def test_daemon_and_oneshot_cli_share_a_cache_root(tmp_path):
+    """A resident daemon and a one-shot ``repro run`` are peers on the
+    cache: whatever the daemon computed, the CLI replays without
+    recomputing a single unit, byte-identically — and vice versa the
+    root stays fsck-clean with exactly one entry per unit."""
+    cache_dir = tmp_path / "cache"
+    report_dir = tmp_path / "reports"
+    daemon = PipeDaemon(tmp_path, cache_dir)
+    try:
+        job = daemon.request("submit", scenario=SCENARIO, sets=2)["job"]
+        computed = daemon.request("result", job=job, timeout=60)
+        assert computed["state"] == "done"
+        assert computed["result"]["stats"]["computed"] == UNITS
+
+        # with the daemon still resident, a one-shot CLI run hits the
+        # same root: zero double-compute, proven by its own accounting
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{REPO_ROOT}:{REPO_ROOT / 'src'}"
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
+        env["REPRO_REPORT_DIR"] = str(report_dir)
+        oneshot = subprocess.run(
+            [sys.executable, "-m", "repro", "run",
+             "--scenario", SCENARIO, "--sets", "2", "--workers", "1"],
+            capture_output=True, text=True, cwd=REPO_ROOT, env=env,
+            timeout=120)
+        assert oneshot.returncode == 0, oneshot.stderr
+        assert f"(0 computed, {UNITS} cached" in oneshot.stdout
+
+        with open(report_dir / f"{SCENARIO}.json") as fh:
+            cli_doc = json.load(fh)
+        assert result_identity(cli_doc) == result_identity(
+            computed["result"])
+
+        cache = ResultCache(cache_dir)
+        assert len(cache) == UNITS
+        report = cache.fsck()
+        assert report["ok"] == UNITS
+        assert report["quarantined"] == []
+
+        assert daemon.request("shutdown")["ok"] is True
+        assert daemon.wait() == 0
+    finally:
+        daemon.kill()

@@ -218,3 +218,115 @@ class TestGracefulShutdown:
                               cache=None)
         assert resumed.results == oracle.results
         assert store.get_manifest(key) is None
+
+
+class TestWorkerPool:
+    """A caller-owned pool keeps workers warm across campaigns — the
+    resident-daemon path — without changing results or teardown."""
+
+    def _pool(self):
+        import multiprocessing
+
+        from repro.campaign import WorkerPool
+        from repro.campaign.engine import _start_method
+        return WorkerPool(multiprocessing.get_context(_start_method()))
+
+    def test_workers_are_reused_across_campaigns(self):
+        specs = [{"i": i} for i in range(6)]
+        pool = self._pool()
+        try:
+            first = run_campaign(_units.pid_unit, specs, seed=1,
+                                 workers=2, cache=None, pool=pool)
+            assert len(pool.idle_workers) == 2   # released warm
+            second = run_campaign(_units.pid_unit, specs, seed=1,
+                                  workers=2, cache=None, pool=pool)
+        finally:
+            pool.close()
+        first_pids = {r["pid"] for r in first.results}
+        second_pids = {r["pid"] for r in second.results}
+        assert len(first_pids) == 2
+        # the second campaign ran entirely on the warm workers of the
+        # first — zero process respawn
+        assert second_pids <= first_pids
+        assert second.stats.worker_respawns == 0
+
+    def test_pool_runs_are_bit_identical_to_pooled_free_runs(self):
+        specs = [{"n": 4, "i": i} for i in range(8)]
+        oracle = run_campaign(_units.rng_unit, specs, seed=9, workers=1,
+                              cache=None)
+        pool = self._pool()
+        try:
+            pooled = run_campaign(_units.rng_unit, specs, seed=9,
+                                  workers=2, cache=None, pool=pool)
+        finally:
+            pool.close()
+        assert pooled.results == oracle.results
+
+    def test_closed_pool_rejects_new_leases(self):
+        pool = self._pool()
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.lease(1)
+
+    def test_close_shuts_idle_workers_down(self):
+        specs = [{"i": i} for i in range(4)]
+        pool = self._pool()
+        run_campaign(_units.pid_unit, specs, seed=1, workers=2,
+                     cache=None, pool=pool)
+        idle = pool.idle_workers
+        assert len(idle) == 2
+        pids = [w.process.pid for w in idle]
+        pool.close()   # joins and reaps every idle worker
+        assert pool.idle_workers == []
+
+        def alive(pid):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return False
+            return True
+
+        deadline = time.monotonic() + 10.0
+        while any(alive(p) for p in pids) and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not any(alive(p) for p in pids)
+
+    def test_external_shutdown_event_drains_without_signals(self,
+                                                            tmp_path):
+        """A non-main-thread caller (the serve daemon's job runners)
+        hands in its own shutdown event; setting it mid-run drains and
+        raises CampaignInterrupted without any signal machinery."""
+        cache_dir = tmp_path / "cache"
+        specs = [{"n": 3, "i": i, "s": 0.2, "dir": str(tmp_path)}
+                 for i in range(10)]
+        stop = threading.Event()
+        outcome = {}
+
+        def body():
+            try:
+                run_campaign(_units.slow_unit, specs, seed=5, workers=2,
+                             cache=cache_dir, shutdown_event=stop)
+                outcome["state"] = "completed"
+            except CampaignInterrupted as exc:
+                outcome["state"] = "interrupted"
+                outcome["manifest"] = exc.manifest
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        deadline = time.monotonic() + 60.0
+        while (not list(cache_dir.glob("??/*.json"))
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        stop.set()
+        worker.join(timeout=60.0)
+        assert not worker.is_alive()
+        assert outcome["state"] == "interrupted"
+        assert outcome["manifest"] is not None
+        # the drain left a resumable manifest: finishing the campaign
+        # recomputes only what is missing and matches the oracle
+        resumed = run_campaign(_units.slow_unit, specs, seed=5,
+                               workers=2, cache=cache_dir)
+        oracle = run_campaign(_units.slow_unit, specs, seed=5, workers=1,
+                              cache=None)
+        assert resumed.results == oracle.results
+        assert resumed.stats.cached >= 1

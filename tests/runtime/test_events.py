@@ -89,6 +89,77 @@ class TestBus:
         bus.emit("cache.hit", digest="x")   # must not raise
         assert not bus.enabled
 
+    def test_oserror_sink_disables_quietly(self):
+        """A sink whose ``write`` raises ``OSError`` (full disk, closed
+        pipe) must disable the bus, not crash the emitting unit.
+        Regression: only ``ValueError`` used to be swallowed."""
+
+        class BrokenPipeSink:
+            def write(self, line):
+                raise BrokenPipeError(32, "Broken pipe")
+
+            def flush(self):   # pragma: no cover — write raises first
+                raise BrokenPipeError(32, "Broken pipe")
+
+        bus = EventBus(BrokenPipeSink())
+        assert bus.enabled
+        bus.emit("cache.hit", digest="x")   # must not raise
+        assert not bus.enabled
+        bus.emit("cache.hit", digest="y")   # disabled stays quiet
+
+
+class TestSubscribers:
+    """The in-process fan-out the serve daemon streams job events from."""
+
+    @pytest.fixture(autouse=True)
+    def _no_sink(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_JSON", raising=False)
+
+    def test_subscriber_receives_records_with_the_sink_off(self):
+        seen = []
+        token = events.subscribe(seen.append)
+        try:
+            events.emit("cache.hit", digest="abc")
+        finally:
+            events.unsubscribe(token)
+        [record] = seen
+        assert_schema_valid(record)
+        assert record["digest"] == "abc"
+
+    def test_schema_validation_applies_to_subscribers(self):
+        token = events.subscribe(lambda record: None)
+        try:
+            with pytest.raises(ValueError, match="unknown event"):
+                events.emit("not.an.event")
+            with pytest.raises(ValueError, match="digest"):
+                events.emit("cache.hit")
+        finally:
+            events.unsubscribe(token)
+
+    def test_unsubscribe_stops_delivery(self):
+        seen = []
+        token = events.subscribe(seen.append)
+        events.emit("cache.hit", digest="one")
+        events.unsubscribe(token)
+        events.emit("cache.hit", digest="two")
+        events.unsubscribe(token)   # unknown token: no-op
+        assert [r["digest"] for r in seen] == ["one"]
+
+    def test_broken_subscriber_is_swallowed_and_isolated(self):
+        seen = []
+
+        def broken(record):
+            raise RuntimeError("consumer bug")
+
+        t1 = events.subscribe(broken)
+        t2 = events.subscribe(seen.append)
+        try:
+            events.emit("cache.hit", digest="abc")   # must not raise
+        finally:
+            events.unsubscribe(t1)
+            events.unsubscribe(t2)
+        assert [r["digest"] for r in seen] == ["abc"]
+
 
 class TestCampaignEventLog:
     """A real chaos-armed campaign writes a joinable, schema-valid log."""
