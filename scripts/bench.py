@@ -90,9 +90,10 @@ def _run_campaign(args: argparse.Namespace) -> int:
         label=args.label)
     print(campaign_bench.format_record(record))
     status = 0
-    if not (record["bit_identical"] and record["replay_identical"]):
-        print("ERROR: parallel/cached curves diverge from the serial "
-              "sweep — determinism regression", file=sys.stderr)
+    if not (record["bit_identical"] and record["replay_identical"]
+            and record["sharded_identical"]):
+        print("ERROR: parallel/cached/sharded curves diverge from the "
+              "serial sweep — determinism regression", file=sys.stderr)
         status = 1
     threshold = campaign_bench.min_campaign_speedup(4.0)
     if record["speedup"] < threshold:

@@ -8,7 +8,7 @@ Subcommands::
     python -m repro report [NAME ...]        # re-render saved reports
     python -m repro report --bench           # BENCH_*.json trajectories
     python -m repro cache fsck               # verify cache envelopes
-    python -m repro cache gc                 # sweep tmp/quarantine
+    python -m repro cache gc                 # sweep tmp/quarantine/leases
     python -m repro knobs                    # the runtime knob registry
     python -m repro serve                    # resident campaign daemon
     python -m repro submit --scenario NAME   # run via the daemon
@@ -87,7 +87,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                       engine=args.engine,
                                       unit_timeout=args.unit_timeout,
                                       max_retries=args.max_retries,
-                                      strict=args.strict or None)
+                                      strict=args.strict or None,
+                                      shard=args.shard)
             except CampaignInterrupted as exc:
                 print(f"interrupted: {exc}", file=sys.stderr)
                 return 130
@@ -104,8 +105,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                       f"quarantined after {stats.max_retries} "
                       "retry/retries — results are partial (re-run to "
                       "retry, or --strict to fail)", file=sys.stderr)
+            # shard accounting rides the worker(s) stats line, which
+            # identity smokes already filter out of table diffs
+            sharded = (f", shard {stats.shard} ({stats.stolen} stolen)"
+                       if stats.shard else "")
             print(f"({stats.computed} computed, {stats.cached} cached, "
-                  f"{stats.workers} worker(s), {stats.seconds:.2f}s)\n")
+                  f"{stats.workers} worker(s){sharded}, "
+                  f"{stats.seconds:.2f}s)\n")
     return 0
 
 
@@ -117,7 +123,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(json.dumps({"cache_dir": str(root), **report}, indent=1))
         return 1 if report["quarantined"] else 0
     report = cache.gc(tmp_max_age_s=args.tmp_age,
-                      quarantine_max_age_s=args.quarantine_age)
+                      quarantine_max_age_s=args.quarantine_age,
+                      lease_max_age_s=args.lease_age)
     print(json.dumps({"cache_dir": str(root), **report}, indent=1))
     return 0
 
@@ -192,7 +199,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 "submit", scenario=name, seed=args.seed,
                 priority=args.priority, workers=args.workers,
                 instructions=args.instructions, repeats=args.repeats,
-                sets=args.sets)
+                sets=args.sets, shard=args.shard)
             if not response.get("ok"):
                 print(f"error: {response.get('error')}", file=sys.stderr)
                 return 1
@@ -298,6 +305,13 @@ def main(argv: "list[str] | None" = None) -> int:
                      metavar="N",
                      help="retries per failing unit before quarantine "
                           "(default REPRO_MAX_RETRIES or 0)")
+    run.add_argument("--shard", default=None, metavar="K/N",
+                     help="run as one lease-claimed shard of the "
+                          "campaign grid (0-based 'k/n'); concurrent "
+                          "shards share REPRO_CACHE_DIR, steal "
+                          "stragglers, and each prints the full "
+                          "assembled tables (default REPRO_SHARD "
+                          "or off; requires the cache)")
     run.add_argument("--strict", action="store_true",
                      help="fail the run if any unit is quarantined "
                           "(default REPRO_CAMPAIGN_STRICT or degrade "
@@ -361,6 +375,10 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="override the scenario's built-in seed")
     submit.add_argument("--workers", type=int, default=None,
                         help="campaign workers for these jobs")
+    submit.add_argument("--shard", default=None, metavar="K/N",
+                        help="run the jobs as one lease-claimed shard "
+                             "of each campaign grid (0-based 'k/n'; "
+                             "shards share the daemon's cache root)")
     submit.add_argument("--instructions", type=int, default=None,
                         help="override target_instructions "
                              "(quick scaling)")
@@ -404,7 +422,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "fsck", help="verify every entry's checksum envelope; corrupt "
                      "entries move to quarantine (exit 1 if any)")
     gc = cache_sub.add_parser(
-        "gc", help="sweep leaked writer tmp files and aged quarantine")
+        "gc", help="sweep leaked writer tmp files, aged quarantine "
+                   "and stale lease litter")
     for sub_cmd in (fsck, gc):
         sub_cmd.add_argument("--cache-dir", default=None,
                              help="cache root (default REPRO_CACHE_DIR "
@@ -418,6 +437,12 @@ def main(argv: "list[str] | None" = None) -> int:
                     default=GC_QUARANTINE_MAX_AGE_S, metavar="SECONDS",
                     help="max age of quarantined corpses "
                          "(default 7 days)")
+    from .campaign.cache import GC_LEASE_MAX_AGE_S
+    gc.add_argument("--lease-age", type=float,
+                    default=GC_LEASE_MAX_AGE_S, metavar="SECONDS",
+                    help="max age of lease files stranded by killed "
+                         "shard owners (default 1 hour; live shards "
+                         "heartbeat theirs, so they never age)")
 
     args = parser.parse_args(argv)
     handler = {"list": _cmd_list, "run": _cmd_run,

@@ -37,10 +37,13 @@ Knobs: ``REPRO_WORKERS`` (worker count, default ``os.cpu_count()``;
 (cache root, default ``<repo>/.repro_cache``; set ``cache=None`` in
 code to disable), ``REPRO_UNIT_TIMEOUT`` / ``REPRO_MAX_RETRIES`` /
 ``REPRO_RETRY_BACKOFF`` / ``REPRO_CAMPAIGN_STRICT`` /
-``REPRO_SHUTDOWN_GRACE`` (fault tolerance; see :mod:`.engine`).
+``REPRO_SHUTDOWN_GRACE`` (fault tolerance; see :mod:`.engine`),
+``REPRO_SHARD`` / ``REPRO_LEASE_TTL`` / ``REPRO_SHARD_POLL``
+(lease-claimed multi-process sharding; see :mod:`.shard`) and
+``REPRO_CACHE_MEM_MB`` (in-memory LRU tier over the disk cache).
 """
 
-from .cache import ResultCache, unit_digest
+from .cache import MemoryTier, ResultCache, unit_digest
 from .engine import (
     CampaignError,
     CampaignInterrupted,
@@ -57,6 +60,14 @@ from .engine import (
     run_grouped_campaign,
     spawn_seed,
 )
+from .shard import (
+    LeaseManager,
+    ShardError,
+    ShardOutcome,
+    parse_shard,
+    resolve_shard,
+    shard_index,
+)
 from .supervisor import ChaosConfig, ChaosError, UnitFailure, WorkerPool
 
 __all__ = [
@@ -66,7 +77,11 @@ __all__ = [
     "CampaignStats",
     "ChaosConfig",
     "ChaosError",
+    "LeaseManager",
+    "MemoryTier",
     "ResultCache",
+    "ShardError",
+    "ShardOutcome",
     "UnitFailure",
     "WorkerPool",
     "campaign_manifest_key",
@@ -75,8 +90,11 @@ __all__ = [
     "code_token",
     "default_cache_dir",
     "default_workers",
+    "parse_shard",
     "resolve_cache",
+    "resolve_shard",
     "run_campaign",
+    "shard_index",
     "run_grouped_campaign",
     "spawn_seed",
     "unit_digest",

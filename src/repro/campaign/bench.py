@@ -1,11 +1,13 @@
 """Campaign-engine throughput bench (the Fig. 5 sweep trajectory).
 
-Times the default-scale Fig. 5 schedulability sweep three ways —
-serial (``workers=1``), parallel (``workers=cpu_count()``) and cached
-replay — asserts the serial and parallel curves are **bit-identical**,
-and records the wall-clock trajectory in ``BENCH_campaign.json`` so
-every future sweep PR reports its speedup against a written-down
-baseline (mirrors ``BENCH_engine.json`` for the execution engine).
+Times the default-scale Fig. 5 schedulability sweep four ways —
+serial (``workers=1``), parallel (``workers=cpu_count()``), cached
+replay, and a **sharded** run (two concurrent lease-claimed shards
+over one fresh cache root; see :mod:`repro.campaign.shard`) — asserts
+every variant's curves are **bit-identical** to serial, and records
+the wall-clock trajectory in ``BENCH_campaign.json`` so every future
+sweep PR reports its speedup against a written-down baseline (mirrors
+``BENCH_engine.json`` for the execution engine).
 
 Wall-clock speedup assertions are gated behind ``REPRO_BENCH_STRICT``:
 a single-core CI runner cannot show a multiprocessing speedup, but it
@@ -26,6 +28,7 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
+import threading
 import time
 from datetime import datetime, timezone
 from typing import Sequence
@@ -109,6 +112,32 @@ def run_campaign_benchmark(*, configs: Sequence[str] | None = None,
     replay_identical = (curves_fingerprint(serial_curves)
                         == curves_fingerprint(replay_curves))
 
+    # Sharded: two concurrent lease-claimed shards, one fresh cache
+    # root — the distributed path's wall-clock and identity trajectory.
+    shards = 2
+    shard_curves: list = [None] * shards
+    shard_cache = tempfile.mkdtemp(prefix="repro-campaign-shardbench-")
+
+    def _shard_run(k: int) -> None:
+        shard_curves[k] = fig5_campaign(
+            keys, utilizations=utils, sets_per_point=sets, workers=1,
+            cache=shard_cache, shard=(k, shards))
+
+    try:
+        sharded_start = time.perf_counter()
+        threads = [threading.Thread(target=_shard_run, args=(k,))
+                   for k in range(shards)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        sharded_seconds = time.perf_counter() - sharded_start
+    finally:
+        shutil.rmtree(shard_cache, ignore_errors=True)
+    sharded_identical = all(
+        curves_fingerprint(serial_curves) == curves_fingerprint(curves)
+        for curves in shard_curves)
+
     units = len(keys) * len(utils) * sets
     speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
     return {
@@ -132,8 +161,14 @@ def run_campaign_benchmark(*, configs: Sequence[str] | None = None,
             units / serial_seconds, 1) if serial_seconds else 0.0,
         "units_per_second_parallel": round(
             units / parallel_seconds, 1) if parallel_seconds else 0.0,
+        "shards": shards,
+        "sharded_seconds": round(sharded_seconds, 3),
+        "sharded_speedup": round(
+            serial_seconds / sharded_seconds, 3) if sharded_seconds
+        else 0.0,
         "bit_identical": bit_identical,
         "replay_identical": replay_identical,
+        "sharded_identical": sharded_identical,
     }
 
 
@@ -150,8 +185,12 @@ def format_record(record: dict) -> str:
         f"{record['parallel_seconds']:>8.3f}s "
         f"{record['units_per_second_parallel']:>8.1f} units/s",
         f"{'cached replay':<24s} {record['replay_seconds']:>8.3f}s",
+        f"{'sharded (' + str(record['shards']) + ' shards)':<24s} "
+        f"{record['sharded_seconds']:>8.3f}s",
         f"{'speedup':<24s} {record['speedup']:>7.2f}x  "
-        f"(replay {record['replay_speedup']:.2f}x)",
+        f"(replay {record['replay_speedup']:.2f}x, "
+        f"sharded {record['sharded_speedup']:.2f}x)",
         f"{'bit-identical':<24s} {record['bit_identical']} "
-        f"(replay {record['replay_identical']})",
+        f"(replay {record['replay_identical']}, "
+        f"sharded {record['sharded_identical']})",
     ])

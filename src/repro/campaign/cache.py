@@ -37,20 +37,24 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Iterator, Optional
 
-from ..runtime import events
+from ..runtime import events, knobs
 
 #: Envelope schema version (bump if the wrapper format changes).
 ENVELOPE_VERSION = 1
 
 #: Default ages for ``gc``: a writer tmp file older than an hour is
 #: leaked (writes take milliseconds); quarantined corpses keep a week
-#: for post-mortem.
+#: for post-mortem.  A lease file older than an hour outlived every
+#: sane ``REPRO_LEASE_TTL`` by far — its owner is long dead.
 GC_TMP_MAX_AGE_S = 3600.0
 GC_QUARANTINE_MAX_AGE_S = 7 * 86400.0
+GC_LEASE_MAX_AGE_S = 3600.0
 
 _BAD = object()   # sentinel: envelope invalid
 
@@ -88,11 +92,78 @@ def _open_envelope(data: Any) -> Any:
     return payload
 
 
-class ResultCache:
-    """A directory of ``<digest[:2]>/<digest>.json`` result files."""
+class MemoryTier:
+    """Process-local LRU of canonical payload text, budgeted in bytes.
 
-    def __init__(self, root: str | os.PathLike):
+    The tier stores the *canonical JSON text* and re-parses on every
+    hit: callers always receive a fresh object, so mutating a returned
+    payload can never corrupt what the next caller sees — the same
+    aliasing guarantee the disk tier gets for free.  Entries are
+    content-addressed and immutable, so there is no invalidation
+    problem and no cross-process coherence to maintain: a miss just
+    falls through to disk.
+    """
+
+    def __init__(self, budget_bytes: int):
+        self.budget_bytes = int(budget_bytes)
+        self._entries: OrderedDict[str, str] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, digest: str) -> Optional[str]:
+        with self._lock:
+            text = self._entries.get(digest)
+            if text is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return text
+
+    def put(self, digest: str, text: str) -> None:
+        size = len(text)
+        if size > self.budget_bytes:
+            return   # one oversized payload must not flush the tier
+        with self._lock:
+            previous = self._entries.pop(digest, None)
+            if previous is not None:
+                self._bytes -= len(previous)
+            self._entries[digest] = text
+            self._bytes += size
+            while self._bytes > self.budget_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= len(evicted)
+                self.evictions += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"entries": len(self._entries), "bytes": self._bytes,
+                    "budget_bytes": self.budget_bytes, "hits": self.hits,
+                    "misses": self.misses, "evictions": self.evictions}
+
+
+class ResultCache:
+    """A directory of ``<digest[:2]>/<digest>.json`` result files.
+
+    ``mem_budget_mb`` arms an in-process LRU tier over the disk entries
+    (default: the ``REPRO_CACHE_MEM_MB`` knob, 0 = off) — hot replay
+    for a resident daemon serving the same grids repeatedly.  The tier
+    is resolved once per instance; it only ever shadows immutable
+    content-addressed entries, so results are bit-identical with it on
+    or off.
+    """
+
+    def __init__(self, root: str | os.PathLike,
+                 mem_budget_mb: Optional[float] = None):
         self.root = Path(root)
+        if mem_budget_mb is None:
+            mem_budget_mb = knobs.value("cache_mem_mb")
+        self._mem: Optional[MemoryTier] = None
+        if mem_budget_mb and mem_budget_mb > 0:
+            self._mem = MemoryTier(int(mem_budget_mb * 1024 * 1024))
 
     def path_for(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"
@@ -104,6 +175,14 @@ class ResultCache:
     @property
     def manifest_dir(self) -> Path:
         return self.root / "manifests"
+
+    @property
+    def lease_dir(self) -> Path:
+        return self.root / "leases"
+
+    def mem_stats(self) -> Optional[dict]:
+        """LRU-tier accounting, or ``None`` when the tier is off."""
+        return self._mem.stats() if self._mem is not None else None
 
     # -- read/write ---------------------------------------------------------
 
@@ -121,6 +200,11 @@ class ResultCache:
         cache payload — callers that must tell the two apart pass a
         private sentinel as ``default`` (the engine does).
         """
+        if self._mem is not None:
+            text = self._mem.get(digest)
+            if text is not None:
+                events.emit("cache.mem_hit", digest=digest)
+                return json.loads(text)
         path = self.path_for(digest)
         try:
             with open(path, "rb") as fh:
@@ -145,6 +229,8 @@ class ResultCache:
             self.quarantine(path, reason="badsum")
             return default
         events.emit("cache.hit", digest=digest)
+        if self._mem is not None:
+            self._mem.put(digest, canonical_json(payload))
         return payload
 
     def put(self, digest: str, payload: Any) -> None:
@@ -169,6 +255,8 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self._mem is not None:
+            self._mem.put(digest, canonical_json(payload))
 
     # -- quarantine and maintenance -----------------------------------------
 
@@ -226,25 +314,44 @@ class ResultCache:
 
     def gc(self, *, tmp_max_age_s: float = GC_TMP_MAX_AGE_S,
            quarantine_max_age_s: float = GC_QUARANTINE_MAX_AGE_S,
+           lease_max_age_s: float = GC_LEASE_MAX_AGE_S,
            ) -> dict:
-        """Sweep leaked writer temp files and aged quarantine entries.
+        """Sweep leaked writer temp files, aged quarantine entries and
+        aged lease litter.
 
         Age thresholds keep the sweep safe against live campaigns: a
         ``*.tmp.<pid>`` file younger than ``tmp_max_age_s`` may belong
-        to an in-flight write and is left alone.
+        to an in-flight write, and a lease younger than
+        ``lease_max_age_s`` may belong to a live shard (heartbeats
+        re-stamp held leases, so a live owner's lease never ages) —
+        both are left alone.  A SIGKILLed shard owner strands its
+        lease files, heartbeat ``*.tmp.<pid>`` litter and stale-grave
+        files; all three shapes land here.
         """
         now = time.time()
         tmp_removed: list[str] = []
         quarantine_removed: list[str] = []
-        for path in sorted(self.root.glob("??/*.tmp.*")):
-            if self._expired(path, now, tmp_max_age_s):
-                tmp_removed.append(path.name)
+        lease_removed: list[str] = []
+        # writer litter, everywhere the cache writes via tmp + rename:
+        # entry shards, run manifests, lease heartbeats
+        for pattern in ("??/*.tmp.*", "manifests/*.tmp.*",
+                        "leases/*.tmp.*"):
+            for path in sorted(self.root.glob(pattern)):
+                if self._expired(path, now, tmp_max_age_s):
+                    tmp_removed.append(path.name)
         if self.quarantine_dir.is_dir():
             for path in sorted(self.quarantine_dir.iterdir()):
                 if self._expired(path, now, quarantine_max_age_s):
                     quarantine_removed.append(path.name)
+        if self.lease_dir.is_dir():
+            for path in sorted(self.lease_dir.iterdir()):
+                if ".tmp." in path.name:
+                    continue   # heartbeat litter: the sweep above owns it
+                if self._expired(path, now, lease_max_age_s):
+                    lease_removed.append(path.name)
         return {"tmp_removed": tmp_removed,
-                "quarantine_removed": quarantine_removed}
+                "quarantine_removed": quarantine_removed,
+                "lease_removed": lease_removed}
 
     @staticmethod
     def _expired(path: Path, now: float, max_age_s: float) -> bool:

@@ -55,6 +55,7 @@ from typing import Any, Callable, Mapping, Optional, Sequence
 from ..errors import ReproError
 from ..runtime import events, knobs
 from .cache import ResultCache, canonical_json, unit_digest
+from .shard import ShardOutcome, resolve_shard, run_sharded
 from .supervisor import (
     ChaosConfig,
     SupervisorReport,
@@ -237,6 +238,10 @@ class CampaignStats:
     unit_timeout: Optional[float] = None
     max_retries: int = 0
     manifest: Optional[str] = None
+    #: ``"k/n"`` when this run executed as one lease-claimed shard.
+    shard: Optional[str] = None
+    #: Units computed under leases stolen from other shards' slices.
+    stolen: int = 0
 
 
 @dataclass
@@ -293,6 +298,7 @@ def run_campaign(fn: Callable[[Any, int], Any], specs: Sequence[Any], *,
                  strict: Optional[bool] = None,
                  pool: Optional[WorkerPool] = None,
                  shutdown_event: Optional[threading.Event] = None,
+                 shard: Any = None,
                  ) -> CampaignRun:
     """Execute every unit of a campaign grid; see the module docstring.
 
@@ -312,10 +318,22 @@ def run_campaign(fn: Callable[[Any, int], Any], specs: Sequence[Any], *,
     setting the event triggers the same graceful drain-and-manifest
     path SIGINT/SIGTERM would (a service daemon sets it per job for
     cancellation and for its own shutdown).
+
+    ``shard`` (``"k/n"``, a ``(k, n)`` pair, or ``REPRO_SHARD``) runs
+    this process as one lease-claimed slice of the grid against the
+    shared cache: it computes its own units, steals stragglers, absorbs
+    what other shards cached, and still returns the **full** assembled
+    result — see :mod:`repro.campaign.shard`.
     """
     fn_ref = _fn_ref(fn)
     version = str(getattr(fn, "campaign_version", "1"))
     store = resolve_cache(cache)
+    shard_id = resolve_shard(shard)
+    if shard_id is not None and store is None:
+        raise CampaignError(
+            "sharded execution needs the shared result cache "
+            "(--shard is incompatible with --no-cache): leases and "
+            "result exchange both live under the cache root")
     n_workers = workers if workers is not None else default_workers()
     if n_workers < 1:
         raise CampaignError(f"workers must be >= 1, got {n_workers}")
@@ -398,9 +416,38 @@ def run_campaign(fn: Callable[[Any, int], Any], specs: Sequence[Any], *,
                                                      _request_shutdown)))
             except (ValueError, OSError):  # pragma: no cover
                 continue
+    shard_outcome: Optional[ShardOutcome] = None
     try:
         if not pending:
             report = SupervisorReport()
+        elif shard_id is not None:
+            def _run_batch(batch, batch_record):
+                if use_processes:
+                    ctx = pool.ctx if pool is not None \
+                        else multiprocessing.get_context(_start_method())
+                    return run_supervised(
+                        batch, workers=min(n_workers, len(batch)),
+                        ctx=ctx, record=batch_record,
+                        max_retries=max_retries,
+                        retry_backoff=retry_backoff,
+                        unit_timeout=unit_timeout, chaos=chaos,
+                        chunk_size=effective_chunk,
+                        shutdown_grace=default_shutdown_grace(),
+                        shutdown_event=shutdown, pool=pool)
+                return run_serial(
+                    batch, record=batch_record, max_retries=max_retries,
+                    retry_backoff=retry_backoff, shutdown_event=shutdown)
+
+            def _absorb(index, payload):
+                # another shard computed and cached it: file the result
+                # without re-writing the cache entry
+                results[index] = payload
+                done.add(index)
+
+            report, shard_outcome = run_sharded(
+                pending, shard=shard_id, store=store,
+                run_batch=_run_batch, record=_record, absorb=_absorb,
+                shutdown_event=shutdown)
         elif use_processes:
             ctx = pool.ctx if pool is not None \
                 else multiprocessing.get_context(_start_method())
@@ -445,8 +492,15 @@ def run_campaign(fn: Callable[[Any, int], Any], specs: Sequence[Any], *,
             # a clean completion supersedes any earlier interrupt
             store.clear_manifest(key)
 
+    # units another shard computed count as cached: they were answered
+    # from the shared cache, so warm-replay accounting stays truthful
+    absorbed = shard_outcome.absorbed if shard_outcome is not None else 0
     stats = CampaignStats(
-        total=len(specs), computed=len(done) - cached, cached=cached,
+        total=len(specs), computed=len(done) - cached - absorbed,
+        cached=cached + absorbed,
+        shard=(f"{shard_id[0]}/{shard_id[1]}"
+               if shard_id is not None else None),
+        stolen=shard_outcome.stolen if shard_outcome is not None else 0,
         workers=n_workers, chunk_size=effective_chunk,
         seconds=time.perf_counter() - start,
         cache_dir=str(store.root) if store is not None else None,
@@ -486,6 +540,7 @@ def run_grouped_campaign(fn: Callable[[Any, int], Any],
                          strict: Optional[bool] = None,
                          pool: Optional[WorkerPool] = None,
                          shutdown_event: Optional[threading.Event] = None,
+                         shard: Any = None,
                          ) -> tuple[dict[str, list], CampaignStats]:
     """Run several spec groups as **one** flat campaign.
 
@@ -502,7 +557,8 @@ def run_grouped_campaign(fn: Callable[[Any, int], Any],
                        chunk_size=chunk_size, unit_timeout=unit_timeout,
                        max_retries=max_retries,
                        retry_backoff=retry_backoff, strict=strict,
-                       pool=pool, shutdown_event=shutdown_event)
+                       pool=pool, shutdown_event=shutdown_event,
+                       shard=shard)
     sliced: dict[str, list] = {}
     offset = 0
     for key, specs in groups.items():

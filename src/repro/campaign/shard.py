@@ -1,0 +1,407 @@
+"""Distributed sharded campaigns: lease-claimed slices of one grid.
+
+One campaign grid can be executed by many independent processes (or
+hosts sharing a filesystem) against a single cache root.  Each process
+runs ``repro run --shard k/n`` (or ``run_campaign(..., shard=(k, n))``)
+and the pieces compose:
+
+* **Planner** — :func:`shard_index` maps a unit's content digest to a
+  shard, so the partition is a pure function of the grid: every process
+  computes the same disjoint cover with no coordinator and no spec-order
+  coupling (insertions re-balance, they never reshuffle other shards'
+  cached results).
+* **Leases** — before computing a unit, a shard claims
+  ``<cache>/leases/<digest>.lease`` with an atomic ``O_EXCL`` create
+  (the filesystem arbitrates; exactly one claimant wins).  The lease
+  carries owner pid/host and is refreshed by a heartbeat thread; a
+  lease silent for ``REPRO_LEASE_TTL`` seconds is stale and may be
+  reclaimed, so a SIGKILLed shard's work is finished by survivors.
+* **Work stealing** — a shard that exhausts its own slice scans the
+  remaining units for unclaimed or expired leases and takes them
+  (``lease.steal``), so one straggler (or a dead shard) never idles the
+  fleet.
+* **Identity** — the claim/compute/release ordering is: claim the
+  lease, re-check the cache, compute, ``put`` the result (atomic CAS
+  write), *then* release.  Units are deterministic functions of
+  ``(spec, rng_seed)`` and cache writes are content-addressed, so even
+  the pathological double-compute (an owner paused past the TTL while
+  a thief recomputes) produces byte-identical cache entries — sharding
+  can never perturb results, only wall-clock.
+
+All of it rides the PR 8 runtime layer: ``shard``/``lease_ttl``/
+``shard_poll`` are execution-scoped knobs (excluded from spawn seeds
+and cache digests by construction) and every protocol step emits a
+schema-checked event (``shard.start``/``shard.end``, ``lease.claim``/
+``lease.steal``/``lease.expire``/``lease.release``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence, Union
+
+from ..errors import ReproError
+from ..runtime import events, knobs
+from .cache import ResultCache
+from .supervisor import SupervisorReport
+
+
+class ShardError(ReproError):
+    """A shard assignment could not be parsed or set up."""
+
+
+ShardLike = Union[None, str, tuple]
+
+
+def parse_shard(value: ShardLike) -> Optional[tuple[int, int]]:
+    """Normalise a shard assignment to ``(k, n)`` with ``0 <= k < n``.
+
+    Accepts ``None``/``""`` (sharding off), a ``(k, n)`` pair, or the
+    CLI/env spelling ``"k/n"`` (0-based).  ``(0, 1)`` is a valid
+    degenerate shard: one process owning the whole grid but running the
+    full lease protocol — the chaos-differential configuration.
+    """
+    if value is None or value == "":
+        return None
+    if isinstance(value, tuple):
+        try:
+            k, n = (int(part) for part in value)
+        except (TypeError, ValueError):
+            raise ShardError(f"shard pair must be two integers, "
+                             f"got {value!r}") from None
+    else:
+        k_text, sep, n_text = str(value).partition("/")
+        if not sep:
+            raise ShardError(
+                f"shard must look like 'k/n', got {value!r}")
+        try:
+            k, n = int(k_text), int(n_text)
+        except ValueError:
+            raise ShardError(
+                f"shard must be two integers 'k/n', got {value!r}") from None
+    if n < 1 or not 0 <= k < n:
+        raise ShardError(
+            f"shard 'k/n' needs 0 <= k < n, got {k}/{n}")
+    return (k, n)
+
+
+def resolve_shard(shard: ShardLike) -> Optional[tuple[int, int]]:
+    """The effective shard: explicit argument, else ``REPRO_SHARD``."""
+    if shard is not None:
+        return parse_shard(shard)
+    return parse_shard(knobs.value("shard"))
+
+
+def shard_index(digest: str, shards: int) -> int:
+    """The home shard of one unit: its content digest modulo ``shards``.
+
+    Keying on the digest (not the spec's list position) makes the
+    partition stable under grid edits and uniform without coordination —
+    the same property that makes the cache content-addressed.
+    """
+    return int(digest[:16], 16) % shards
+
+
+def _lease_interval(ttl: float) -> float:
+    """Heartbeat period: refresh well inside the staleness window."""
+    return min(max(ttl / 4.0, 0.05), 5.0)
+
+
+class LeaseManager:
+    """Claim/heartbeat/release of per-unit lease files.
+
+    Lease files live under ``<cache root>/leases/<digest>.lease`` and
+    are claimed with ``O_CREAT | O_EXCL`` — the one filesystem primitive
+    that is atomic on every local and most network filesystems, so two
+    racing shards can never both win.  Staleness is judged purely from
+    the lease file's mtime (refreshed by :meth:`refresh_held`), so no
+    clock is shared beyond the filesystem's.
+
+    The manager only tracks leases *it* claimed; releasing is
+    restricted to that held set, so a stolen lease cannot be released
+    by its previous owner's bookkeeping.
+    """
+
+    def __init__(self, root: Union[ResultCache, Path, str], *,
+                 ttl: Optional[float] = None):
+        base = root.root if isinstance(root, ResultCache) else Path(root)
+        self.dir = base / "leases"
+        self.ttl = float(ttl) if ttl is not None \
+            else knobs.value("lease_ttl")
+        self._held: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    # -- claim / release --------------------------------------------------
+
+    def path_for(self, digest: str) -> Path:
+        return self.dir / f"{digest}.lease"
+
+    def _doc(self, digest: str, token: str) -> dict:
+        return {"digest": digest, "pid": os.getpid(),
+                "host": socket.gethostname(), "token": token,
+                "heartbeat_unix": round(time.time(), 3)}
+
+    def claim(self, digest: str) -> bool:
+        """Try to claim ``digest``; ``True`` exactly once per live lease.
+
+        An existing lease blocks the claim unless it is stale (silent
+        past the TTL), in which case it is expired and the claim
+        retried — the work-stealing path.
+        """
+        path = self.path_for(digest)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        token = f"{os.getpid()}.{time.monotonic_ns()}"
+        for attempt in range(2):
+            try:
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL,
+                             0o644)
+            except FileExistsError:
+                if attempt or not self._expire(path, digest):
+                    return False
+                continue
+            except OSError:
+                return False
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(self._doc(digest, token), handle)
+            except OSError:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                return False
+            with self._lock:
+                self._held[digest] = token
+            return True
+        return False
+
+    def _expire(self, path: Path, digest: str) -> bool:
+        """Remove a stale lease; ``True`` lets the claim retry."""
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            return True   # vanished underneath us: the claim may retry
+        if age <= self.ttl:
+            return False
+        # Move to a per-claimant grave first: two shards expiring the
+        # same lease race on the rename, and only the winner's O_EXCL
+        # retry can observe the path free before the loser's does —
+        # either way at most one claim succeeds.
+        grave = self.dir / (f"{path.name}.stale."
+                            f"{os.getpid()}.{time.monotonic_ns()}")
+        try:
+            os.replace(path, grave)
+        except OSError:
+            return True   # another shard expired it first
+        events.emit("lease.expire", digest=digest, age_s=round(age, 3))
+        try:
+            os.unlink(grave)
+        except OSError:  # pragma: no cover - gc sweeps the litter
+            pass
+        return True
+
+    def release(self, digest: str) -> None:
+        """Drop a lease this manager holds (no-op otherwise)."""
+        with self._lock:
+            token = self._held.pop(digest, None)
+        if token is None:
+            return
+        try:
+            os.unlink(self.path_for(digest))
+        except OSError:
+            pass
+        events.emit("lease.release", digest=digest)
+
+    def release_all(self) -> None:
+        for digest in list(self._held):
+            self.release(digest)
+
+    # -- heartbeat --------------------------------------------------------
+
+    def refresh_held(self) -> None:
+        """Re-stamp every held lease so it never looks stale while the
+        owner is alive (tmp + ``os.replace``: readers always see a
+        complete document)."""
+        with self._lock:
+            held = dict(self._held)
+        for digest, token in held.items():
+            path = self.path_for(digest)
+            tmp = self.dir / f"{path.name}.tmp.{os.getpid()}"
+            try:
+                with open(tmp, "w") as handle:
+                    json.dump(self._doc(digest, token), handle)
+                os.replace(tmp, path)
+            except OSError:  # pragma: no cover - disk pressure
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def held(self) -> list[str]:
+        with self._lock:
+            return sorted(self._held)
+
+    def read(self, digest: str) -> Optional[dict]:
+        """The owner document of a live lease, if readable."""
+        try:
+            with open(self.path_for(digest)) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard contributed to the grid."""
+
+    shard: int = 0
+    shards: int = 1
+    #: Units computed under a lease stolen from another shard's slice.
+    stolen: int = 0
+    #: Units another shard computed that this run absorbed from cache.
+    absorbed: int = 0
+
+
+def run_sharded(pending: Sequence[tuple], *,
+                shard: tuple[int, int],
+                store: ResultCache,
+                run_batch: Callable[[list, Callable[[int, Any], None]],
+                                    SupervisorReport],
+                record: Callable[[int, Any], None],
+                absorb: Callable[[int, Any], None],
+                shutdown_event: threading.Event,
+                lease_ttl: Optional[float] = None,
+                poll_s: Optional[float] = None,
+                ) -> tuple[SupervisorReport, ShardOutcome]:
+    """Drive ``pending`` units to completion as shard ``k`` of ``n``.
+
+    ``run_batch(units, record)`` executes a claimed batch through the
+    ordinary supervisor machinery (serial or process pool — the caller
+    decides, so every fault-tolerance feature applies unchanged inside
+    a shard).  ``record`` is the engine's result sink (cache ``put``
+    included); ``absorb`` files a payload another shard already cached,
+    without re-writing it.
+
+    The loop per round: absorb foreign results that appeared in the
+    cache, claim this shard's unclaimed units, steal stragglers once
+    the home slice is exhausted, run the claimed batch, release each
+    lease *after* its result is in the cache.  No progress → sleep
+    ``shard_poll`` and rescan.  Every unit ends exactly one way:
+    computed here, absorbed from another shard, or quarantined.
+    """
+    k, n = shard
+    ttl = float(lease_ttl) if lease_ttl is not None \
+        else knobs.value("lease_ttl")
+    poll = float(poll_s) if poll_s is not None \
+        else knobs.value("shard_poll")
+    leases = LeaseManager(store, ttl=ttl)
+    start = time.monotonic()
+    digest_of = {unit[0]: unit[4] for unit in pending}
+    mine = [unit for unit in pending if shard_index(unit[4], n) == k]
+    theirs = [unit for unit in pending if shard_index(unit[4], n) != k]
+    outstanding = set(digest_of)
+    report = SupervisorReport()
+    outcome = ShardOutcome(shard=k, shards=n)
+    computed = 0
+    events.emit("shard.start", shard=k, shards=n,
+                units=len(pending), mine=len(mine))
+
+    miss = object()
+
+    def _absorb_round() -> bool:
+        progressed = False
+        for index in sorted(outstanding):
+            digest = digest_of[index]
+            # existence probe first: polling must not flood the event
+            # log with cache.miss records every round
+            if digest not in store:
+                continue
+            payload = store.get(digest, miss)
+            if payload is miss:
+                continue
+            absorb(index, payload)
+            outstanding.discard(index)
+            outcome.absorbed += 1
+            progressed = True
+        return progressed
+
+    def _claim_round(units: Sequence[tuple], *, steal: bool) -> list:
+        batch = []
+        for unit in units:
+            index, digest = unit[0], unit[4]
+            if index not in outstanding:
+                continue
+            if digest in store:
+                continue          # the absorb round will file it
+            if not leases.claim(digest):
+                continue          # live lease elsewhere
+            if digest in store:
+                # released-after-put raced our claim: result exists
+                leases.release(digest)
+                continue
+            events.emit("lease.steal" if steal else "lease.claim",
+                        digest=digest, shard=k)
+            if steal:
+                outcome.stolen += 1
+            batch.append(unit)
+        return batch
+
+    def _recorded(index: int, payload: Any) -> None:
+        nonlocal computed
+        record(index, payload)    # engine sink: results[] + cache put
+        leases.release(digest_of[index])
+        outstanding.discard(index)
+        computed += 1
+
+    hb_stop = threading.Event()
+
+    def _heartbeat() -> None:
+        interval = _lease_interval(ttl)
+        while not hb_stop.wait(interval):
+            leases.refresh_held()
+
+    hb = threading.Thread(target=_heartbeat, name="lease-heartbeat",
+                          daemon=True)
+    hb.start()
+    try:
+        while outstanding and not shutdown_event.is_set():
+            progressed = _absorb_round()
+            batch = _claim_round(mine, steal=False)
+            if not batch:
+                # home slice drained (done, cached, or leased away):
+                # steal unclaimed/expired stragglers
+                batch = _claim_round(theirs, steal=True)
+            if batch:
+                batch_report = run_batch(batch, _recorded)
+                report.retries += batch_report.retries
+                report.timeouts += batch_report.timeouts
+                report.worker_deaths += batch_report.worker_deaths
+                report.interrupted |= batch_report.interrupted
+                for failure in batch_report.failures:
+                    # quarantined: drop the unit and free its lease so
+                    # other shards may try (and fail deterministically)
+                    report.failures.append(failure)
+                    leases.release(digest_of[failure.index])
+                    outstanding.discard(failure.index)
+                progressed = True
+            if not progressed and outstanding \
+                    and not shutdown_event.is_set():
+                time.sleep(poll)
+    finally:
+        hb_stop.set()
+        hb.join(timeout=2.0)
+        leases.release_all()
+
+    if shutdown_event.is_set() and outstanding:
+        report.interrupted = True
+    report.outstanding = sorted(outstanding)
+    events.emit("shard.end", shard=k, shards=n, computed=computed,
+                stolen=outcome.stolen, absorbed=outcome.absorbed,
+                seconds=round(time.monotonic() - start, 6))
+    return report, outcome

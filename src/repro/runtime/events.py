@@ -85,6 +85,15 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "job.cancel": ("job", "state"),
     "serve.start": ("mode",),
     "serve.stop": ("reason", "jobs"),
+    # sharded campaigns: shard lifecycle + lease protocol
+    "shard.start": ("shard", "shards", "units", "mine"),
+    "shard.end": ("shard", "shards", "computed", "stolen", "seconds"),
+    "lease.claim": ("digest", "shard"),
+    "lease.steal": ("digest", "shard"),
+    "lease.expire": ("digest", "age_s"),
+    "lease.release": ("digest",),
+    # in-memory LRU tier over the on-disk result cache
+    "cache.mem_hit": ("digest",),
 }
 
 

@@ -440,6 +440,25 @@ def _positive(value: Any) -> Optional[str]:
     return None
 
 
+def _non_negative(value: Any) -> Optional[str]:
+    if value is not None and value < 0:
+        return "must be >= 0"
+    return None
+
+
+def _valid_shard(value: Any) -> Optional[str]:
+    if not value:
+        return None        # empty string: sharding off
+    k_text, sep, n_text = str(value).partition("/")
+    try:
+        k, n = int(k_text), int(n_text)
+    except ValueError:
+        return "must look like 'k/n' (two integers, 0-based)"
+    if not sep or n < 1 or not 0 <= k < n:
+        return "must be 'k/n' with 0 <= k < n"
+    return None
+
+
 # ---------------------------------------------------------------------------
 # knob declarations — the single source of truth
 # ---------------------------------------------------------------------------
@@ -505,6 +524,37 @@ _register(Knob(
     examples=('{"seed": 1, "exc": 0.5}', '{"seed": 2}'),
     help="test-only fault injector spec (JSON; see "
          "tests/campaign/chaos.py)"))
+
+# -- sharded campaigns (lease-claimed slices over a shared cache) -----------
+
+_register(Knob(
+    name="shard", env="REPRO_SHARD", type="str",
+    default="", scope="execution", validator=_valid_shard,
+    cli="--shard", examples=("0/2", "1/2"),
+    help="campaign shard assignment 'k/n' (0-based): compute the kth "
+         "lease-claimed slice of the unit grid against the shared "
+         "cache, steal stragglers, return the full assembled result"))
+
+_register(Knob(
+    name="lease_ttl", env="REPRO_LEASE_TTL", type="float",
+    default=30.0, scope="execution", validator=_positive,
+    examples=("5", "10"),
+    help="seconds without a heartbeat before a shard's unit lease "
+         "goes stale and becomes stealable (default 30)"))
+
+_register(Knob(
+    name="shard_poll", env="REPRO_SHARD_POLL", type="float",
+    default=0.2, scope="execution", validator=_positive,
+    examples=("0.05", "0.1"),
+    help="poll interval while a shard waits on units leased by other "
+         "shards, seconds (default 0.2)"))
+
+_register(Knob(
+    name="cache_mem_mb", env="REPRO_CACHE_MEM_MB", type="float",
+    default=0.0, scope="execution", validator=_non_negative,
+    examples=("4", "16"),
+    help="in-memory LRU tier over the on-disk result cache, megabytes "
+         "(0 = off; hot replay inside the resident daemon)"))
 
 # -- backend / scheduler / engine selection ---------------------------------
 

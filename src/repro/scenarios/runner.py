@@ -204,7 +204,8 @@ def run_scenario(scenario: Scenario, *,
                  max_retries: Optional[int] = None,
                  strict: Optional[bool] = None,
                  pool: Optional[object] = None,
-                 shutdown_event: Optional[object] = None) -> ScenarioResult:
+                 shutdown_event: Optional[object] = None,
+                 shard: Optional[object] = None) -> ScenarioResult:
     """Run one scenario end-to-end through the campaign engine.
 
     ``seed`` overrides the scenario's built-in seed (the catalog tables
@@ -221,13 +222,17 @@ def run_scenario(scenario: Scenario, *,
     reuses a warm :class:`repro.campaign.WorkerPool` across scenarios
     (the service daemon's amortised fan-out) and ``shutdown_event`` is
     an external drain trigger for callers that run scenarios off the
-    main thread.  Results are independent of every one of them — they
-    are execution knobs, never part of scenario identity.
+    main thread.  ``shard`` (``"k/n"`` / ``REPRO_SHARD``) runs this
+    process as one lease-claimed slice of the campaign grid against the
+    shared cache and still returns the full assembled result.  Results
+    are independent of every one of them — they are execution knobs,
+    never part of scenario identity.
     """
     run_seed = scenario.seed if seed is None else seed
     campaign_kw = {"unit_timeout": unit_timeout,
                    "max_retries": max_retries, "strict": strict,
-                   "pool": pool, "shutdown_event": shutdown_event}
+                   "pool": pool, "shutdown_event": shutdown_event,
+                   "shard": shard}
     events.emit("scenario.start", scenario=scenario.name,
                 kind=scenario.kind, seed=run_seed)
     started = time.perf_counter()

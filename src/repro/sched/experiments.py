@@ -232,13 +232,16 @@ def fig5_campaign(configs: Mapping[str, dict] | Sequence[str] | None = None,
                   cache: object = "auto",
                   backend: str | None = None,
                   batch_size: int | None = None,
+                  shard: object = None,
                   ) -> dict[str, list[SchedulabilityPoint]]:
     """All Fig. 5 configurations as **one** campaign grid.
 
     Fanning the full config × point × replicate product into a single
     unit pool keeps every core busy through the tail of each curve
     (the per-config loop of the seed repo drained to one worker at each
-    curve boundary).  Returns ``{config key: curve}``.
+    curve boundary).  ``shard`` (``"k/n"``) runs this call as one
+    lease-claimed slice of the grid against the shared ``cache``.
+    Returns ``{config key: curve}``.
     """
     if configs is None:
         chosen: Mapping[str, dict] = FIG5_CONFIGS
@@ -256,7 +259,7 @@ def fig5_campaign(configs: Mapping[str, dict] | Sequence[str] | None = None,
     with backend_override(backend):
         grouped, _stats = run_grouped_campaign(
             _fig5_batch_unit, per_config, seed=seed, workers=workers,
-            cache=cache)
+            cache=cache, shard=shard)
     return {
         key: _aggregate_batch_points(specs, grouped[key], utilizations,
                                      sets_per_point, schemes)

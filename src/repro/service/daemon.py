@@ -15,10 +15,10 @@ fields.  The command table:
 command     semantics
 ========== ==========================================================
 submit      enqueue a scenario run (``scenario`` name or full
-            ``spec`` dict; optional ``seed``/``priority``/``workers``
-            and the quick-scaling ``instructions``/``repeats``/
-            ``sets``); concurrent duplicates collapse onto the live
-            job (``"dedup": true``)
+            ``spec`` dict; optional ``seed``/``priority``/``workers``/
+            ``shard`` and the quick-scaling ``instructions``/
+            ``repeats``/``sets``); concurrent duplicates collapse onto
+            the live job (``"dedup": true``)
 status      one job's lifecycle record, or all jobs
 result      block until a job finishes; returns the full scenario
             result document (and the saved report path)
@@ -235,7 +235,8 @@ class ReproService:
             workers=job.workers if job.workers is not None
             else self.workers,
             cache=self.cache if self.cache is not None else None,
-            pool=self.pool, shutdown_event=job.shutdown)
+            pool=self.pool, shutdown_event=job.shutdown,
+            shard=job.shard)
 
     def _runner_loop(self) -> None:
         while not self._stop.is_set():
@@ -338,9 +339,11 @@ class ReproService:
         seed = int(request.get("seed", scenario.seed))
         priority = int(request.get("priority", 0))
         workers = request.get("workers")
+        shard = request.get("shard")
         job, deduped = self.table.submit(
             scenario, seed, priority=priority,
-            workers=None if workers is None else int(workers))
+            workers=None if workers is None else int(workers),
+            shard=None if shard is None else str(shard))
         if deduped:
             events.emit("job.dedup", job=job.id,
                         scenario=scenario.name)

@@ -31,7 +31,7 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
 from ..campaign.cache import canonical_json
 from ..scenarios.spec import Scenario
@@ -76,6 +76,8 @@ class Job:
     seed: int
     priority: int = 0
     workers: Optional[int] = None
+    #: ``"k/n"``: run as one lease-claimed shard of the campaign grid.
+    shard: Optional[str] = None
     state: str = QUEUED
     result: Optional[dict] = None       # ScenarioResult.to_dict()
     saved: Optional[str] = None         # report path, when persisted
@@ -110,6 +112,8 @@ class Job:
             doc["error"] = self.error
         if self.saved is not None:
             doc["saved"] = self.saved
+        if self.shard is not None:
+            doc["shard"] = self.shard
         return doc
 
     def add_event(self, record: dict) -> None:
@@ -137,14 +141,17 @@ class JobTable:
 
     def submit(self, scenario: Scenario, seed: int, *,
                priority: int = 0, workers: Optional[int] = None,
-               ) -> tuple[Job, bool]:
+               shard: Optional[str] = None) -> tuple[Job, bool]:
         """Enqueue one scenario run; returns ``(job, deduped)``.
 
         A submission whose ``(scenario, seed)`` digest matches a job
         that is still queued or running returns *that* job — one
-        computation serves every concurrent requester.  Finished jobs
-        never dedup: the resubmission replays from the on-disk cache
-        instead (see module docstring).
+        computation serves every concurrent requester (``shard`` and
+        ``workers`` are execution details, never part of the dedup
+        key; any live shard completes the whole grid by stealing, so
+        deduping onto it is always safe).  Finished jobs never dedup:
+        the resubmission replays from the on-disk cache instead (see
+        module docstring).
         """
         key = job_key(scenario, seed)
         with self._cond:
@@ -154,7 +161,8 @@ class JobTable:
                 return self._jobs[live], True
             job = Job(id=f"j{next(self._ids)}", key=key,
                       scenario=scenario, seed=seed, priority=priority,
-                      workers=workers, submitted_at=time.time())
+                      workers=workers, shard=shard,
+                      submitted_at=time.time())
             self._jobs[job.id] = job
             self._live[key] = job.id
             heapq.heappush(self._heap,

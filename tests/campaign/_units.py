@@ -83,6 +83,34 @@ def kill_once_unit(spec: dict, rng_seed: int) -> list[float]:
     return [rng.random() for _ in range(spec["n"])]
 
 
+def slow_touch_unit(spec: dict, rng_seed: int) -> list[float]:
+    """Marker at entry, then a sleep — shard crash/steal tests need to
+    observe which units *started* computing before a kill landed."""
+    marker = Path(spec["dir"]) / f"slowtouch-{spec['i']}-{os.getpid()}"
+    with open(marker, "a") as fh:
+        fh.write("computed\n")
+    time.sleep(spec.get("s", 0.0))
+    rng = random.Random(rng_seed)
+    return [rng.random() for _ in range(spec.get("n", 3))]
+
+
+def lease_claim_racer(root: str, digest: str, barrier: str,
+                      out: str) -> None:
+    """Process target for the lease-contention test: spin on a cheap
+    file barrier, race one ``claim``, report the verdict."""
+    from repro.campaign.shard import LeaseManager
+
+    manager = LeaseManager(Path(root), ttl=60.0)
+    deadline = time.monotonic() + 10.0
+    while not Path(barrier).exists():
+        if time.monotonic() > deadline:  # pragma: no cover - CI guard
+            Path(out).write_text("timeout")
+            return
+        time.sleep(0.001)
+    won = manager.claim(digest)
+    Path(out).write_text("won" if won else "lost")
+
+
 def hang_once_unit(spec: dict, rng_seed: int) -> list[float]:
     """Hangs (far beyond any test timeout) until the marker exists —
     exercises per-unit wall-clock timeouts plus retry."""

@@ -1,0 +1,403 @@
+"""Sharded campaigns: planner, leases, work stealing, memory tier.
+
+The multi-process contention/crash suite lives in
+``test_shard_contention.py``; this file covers the deterministic
+planner, the lease protocol's single-process semantics, the sharded
+engine path (threads sharing one cache root stand in for independent
+processes — the lease files neither know nor care), and the in-memory
+LRU tier's accounting and identity-neutrality.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    LeaseManager,
+    MemoryTier,
+    ResultCache,
+    ShardError,
+    parse_shard,
+    run_campaign,
+    shard_index,
+    unit_digest,
+)
+from repro.campaign.shard import resolve_shard
+from repro.errors import ConfigurationError
+from repro.runtime import events, knobs
+
+from ._units import echo_unit, failing_unit, touching_unit
+
+
+@contextmanager
+def capture_events(*names):
+    records: list[dict] = []
+
+    def _sink(record):
+        if not names or record["event"] in names:
+            records.append(record)
+
+    token = events.subscribe(_sink)
+    try:
+        yield records
+    finally:
+        events.unsubscribe(token)
+
+
+# ---------------------------------------------------------------------------
+# planner
+# ---------------------------------------------------------------------------
+
+
+class TestPlanner:
+    def test_parse_shard_accepts_all_spellings(self):
+        assert parse_shard(None) is None
+        assert parse_shard("") is None
+        assert parse_shard("0/2") == (0, 2)
+        assert parse_shard("1/3") == (1, 3)
+        assert parse_shard((1, 2)) == (1, 2)
+        assert parse_shard("0/1") == (0, 1)   # degenerate: valid
+
+    @pytest.mark.parametrize("bad", ["2/2", "-1/2", "1", "a/b", "1/0",
+                                     "0/-1", (2, 2), ("x", 2)])
+    def test_parse_shard_rejects(self, bad):
+        with pytest.raises(ShardError):
+            parse_shard(bad)
+
+    def test_resolve_shard_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD", "1/4")
+        assert resolve_shard(None) == (1, 4)
+        assert resolve_shard("0/2") == (0, 2)   # argument wins
+
+    def test_resolve_shard_env_typo_fails_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD", "2/2")
+        with pytest.raises(ConfigurationError):
+            resolve_shard(None)
+
+    def test_shard_index_is_a_disjoint_cover(self):
+        digests = [unit_digest("m:f", "1", 0, {"i": i})
+                   for i in range(200)]
+        for shards in (1, 2, 3, 7):
+            assignment = [shard_index(d, shards) for d in digests]
+            assert set(assignment) == set(range(shards))
+            # deterministic: same digest, same shard, every time
+            assert assignment == [shard_index(d, shards)
+                                  for d in digests]
+
+    def test_shard_index_is_spec_order_independent(self):
+        digest = unit_digest("m:f", "1", 0, {"i": 7})
+        assert shard_index(digest, 4) == shard_index(digest, 4)
+        # keyed on content, so a reordered grid cannot reshuffle homes
+        assert 0 <= shard_index(digest, 4) < 4
+
+
+# ---------------------------------------------------------------------------
+# lease protocol (single-process semantics)
+# ---------------------------------------------------------------------------
+
+
+class TestLeaseManager:
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        a = LeaseManager(tmp_path, ttl=60.0)
+        b = LeaseManager(tmp_path, ttl=60.0)
+        assert a.claim("d1")
+        assert not a.claim("d1")    # even the owner cannot double-claim
+        assert not b.claim("d1")
+        doc = b.read("d1")
+        assert doc["pid"] == os.getpid() and doc["digest"] == "d1"
+        a.release("d1")
+        assert b.claim("d1")
+
+    def test_release_ignores_leases_it_does_not_hold(self, tmp_path):
+        a = LeaseManager(tmp_path, ttl=60.0)
+        b = LeaseManager(tmp_path, ttl=60.0)
+        assert a.claim("d1")
+        b.release("d1")             # not b's lease: must be a no-op
+        assert a.path_for("d1").exists()
+        assert not b.claim("d1")
+
+    def test_stale_lease_is_stolen_with_expire_event(self, tmp_path):
+        a = LeaseManager(tmp_path, ttl=0.05)
+        b = LeaseManager(tmp_path, ttl=0.05)
+        assert a.claim("d1")
+        # age the lease well past the TTL without sleeping
+        path = a.path_for("d1")
+        old = path.stat().st_mtime - 10.0
+        os.utime(path, (old, old))
+        with capture_events("lease.expire") as expired:
+            assert b.claim("d1")
+        assert [r["digest"] for r in expired] == ["d1"]
+        assert b.held() == ["d1"]
+
+    def test_heartbeat_keeps_a_lease_alive(self, tmp_path):
+        a = LeaseManager(tmp_path, ttl=60.0)
+        b = LeaseManager(tmp_path, ttl=60.0)
+        assert a.claim("d1")
+        before = a.path_for("d1").stat().st_mtime_ns
+        # a freshly re-stamped lease is never stale, whatever its age
+        path = a.path_for("d1")
+        old = path.stat().st_mtime - 120.0
+        os.utime(path, (old, old))
+        a.refresh_held()
+        after = a.path_for("d1").stat().st_mtime_ns
+        assert after != before or path.stat().st_mtime > old
+        assert not b.claim("d1")
+        doc = a.read("d1")
+        assert doc["digest"] == "d1"    # heartbeat rewrote a full doc
+
+    def test_release_all_drains_the_held_set(self, tmp_path):
+        a = LeaseManager(tmp_path, ttl=60.0)
+        for digest in ("d1", "d2", "d3"):
+            assert a.claim(digest)
+        a.release_all()
+        assert a.held() == []
+        assert not list((tmp_path / "leases").glob("*.lease"))
+
+
+# ---------------------------------------------------------------------------
+# sharded engine path
+# ---------------------------------------------------------------------------
+
+
+SPECS = [{"value": i} for i in range(14)]
+
+
+def _oracle():
+    return run_campaign(echo_unit, SPECS, seed=11, workers=1, cache=None)
+
+
+class TestShardedCampaign:
+    def test_shard_requires_the_cache(self):
+        with pytest.raises(CampaignError, match="cache"):
+            run_campaign(echo_unit, SPECS, seed=11, workers=1,
+                         cache=None, shard="0/2")
+
+    def test_degenerate_shard_matches_oracle(self, tmp_path):
+        oracle = _oracle()
+        run = run_campaign(echo_unit, SPECS, seed=11, workers=1,
+                           cache=tmp_path, shard="0/1")
+        assert run.results == oracle.results
+        assert run.stats.shard == "0/1"
+        assert run.stats.computed == len(SPECS)
+        assert run.stats.stolen == 0
+        # release-on-drain: no lease survives a completed run
+        assert not list((tmp_path / "leases").glob("*.lease"))
+
+    def test_concurrent_shards_are_bit_identical_without_recompute(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_POLL", "0.01")
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        specs = [{"dir": str(markers), "i": i} for i in range(14)]
+        oracle = run_campaign(touching_unit, specs, seed=11, workers=1,
+                              cache=None)
+        for marker in markers.iterdir():
+            marker.unlink()
+        cache_dir = tmp_path / "cache"
+
+        def _go(k):
+            return run_campaign(touching_unit, specs, seed=11,
+                                workers=1, cache=cache_dir,
+                                shard=(k, 3))
+
+        with capture_events("lease.claim", "lease.steal") as claims:
+            with ThreadPoolExecutor(3) as pool:
+                runs = list(pool.map(_go, range(3)))
+        for run in runs:
+            assert run.results == oracle.results
+            assert run.stats.quarantined == 0
+        # exactly one marker per unit: leases prevented double-compute
+        seen = sorted(int(m.name.split("-")[1])
+                      for m in markers.iterdir())
+        assert seen == list(range(14))
+        assert sum(r.stats.computed for r in runs) == 14
+        assert sum(r.stats.cached for r in runs) == 2 * 14
+        # every computed unit was claimed exactly once across shards
+        claimed = [r["digest"] for r in claims]
+        assert len(claimed) == len(set(claimed)) == 14
+
+    def test_lone_shard_steals_the_rest_of_the_grid(self, tmp_path):
+        oracle = _oracle()
+        with capture_events("lease.steal") as steals:
+            run = run_campaign(echo_unit, SPECS, seed=11, workers=1,
+                               cache=tmp_path, shard="0/3")
+        assert run.results == oracle.results
+        assert run.stats.computed == len(SPECS)
+        assert run.stats.stolen == len(steals) > 0
+        # a second shard arriving late absorbs everything from cache
+        late = run_campaign(echo_unit, SPECS, seed=11, workers=1,
+                            cache=tmp_path, shard="1/3")
+        assert late.results == oracle.results
+        assert late.stats.computed == 0
+        assert late.stats.cached == len(SPECS)
+
+    def test_sharded_quarantine_degrades_not_kills(self, tmp_path):
+        specs = [{"i": i, "fail_at": 3} for i in range(6)]
+        oracle = run_campaign(failing_unit, specs, seed=5, workers=1,
+                              cache=None, strict=False)
+        run = run_campaign(failing_unit, specs, seed=5, workers=1,
+                           cache=tmp_path, shard="0/1", strict=False)
+        assert run.results == oracle.results
+        assert run.stats.quarantined == 1
+        assert run.failures[0].index == 3
+        # the quarantined unit's lease was freed, not leaked
+        assert not list((tmp_path / "leases").glob("*.lease"))
+
+    def test_sharded_replay_is_zero_recompute(self, tmp_path):
+        run_campaign(echo_unit, SPECS, seed=11, workers=1,
+                     cache=tmp_path, shard="0/2")
+        replay = run_campaign(echo_unit, SPECS, seed=11, workers=1,
+                              cache=tmp_path, shard="1/2")
+        assert replay.stats.computed == 0
+        assert replay.stats.cached == len(SPECS)
+
+    def test_shard_events_cover_the_lifecycle(self, tmp_path):
+        with capture_events("shard.start", "shard.end") as records:
+            run_campaign(echo_unit, SPECS, seed=11, workers=1,
+                         cache=tmp_path, shard="0/2")
+        assert [r["event"] for r in records] == ["shard.start",
+                                                "shard.end"]
+        start, end = records
+        assert start["shards"] == 2 and start["units"] == len(SPECS)
+        assert 0 < start["mine"] < len(SPECS)
+        assert end["computed"] == len(SPECS)
+        assert end["stolen"] > 0
+
+
+# ---------------------------------------------------------------------------
+# in-memory LRU tier
+# ---------------------------------------------------------------------------
+
+
+class TestMemoryTier:
+    def test_hit_miss_eviction_accounting(self):
+        tier = MemoryTier(budget_bytes=40)
+        assert tier.get("a") is None
+        tier.put("a", "x" * 16)
+        tier.put("b", "y" * 16)
+        assert tier.get("a") == "x" * 16
+        tier.put("c", "z" * 16)          # busts the budget: evicts LRU
+        stats = tier.stats()
+        assert stats["evictions"] == 1
+        assert stats["bytes"] <= 40
+        assert tier.get("b") is None      # b was LRU (a was touched)
+        assert tier.get("a") is not None
+        assert tier.get("c") is not None
+        stats = tier.stats()
+        assert stats["hits"] == 3 and stats["misses"] == 2
+
+    def test_oversized_payload_does_not_flush_the_tier(self):
+        tier = MemoryTier(budget_bytes=10)
+        tier.put("small", "ok")
+        tier.put("huge", "x" * 100)
+        assert tier.get("small") == "ok"
+        assert tier.get("huge") is None
+
+    def test_cache_mem_hits_skip_the_disk(self, tmp_path):
+        store = ResultCache(tmp_path, mem_budget_mb=1)
+        store.put("ab" * 32, {"x": [1, 2]})
+        # remove the disk entry: only the memory tier can answer now
+        store.path_for("ab" * 32).unlink()
+        with capture_events("cache.mem_hit") as hits:
+            assert store.get("ab" * 32) == {"x": [1, 2]}
+        assert len(hits) == 1
+        assert store.mem_stats()["hits"] == 1
+
+    def test_mem_hit_returns_a_fresh_object(self, tmp_path):
+        store = ResultCache(tmp_path, mem_budget_mb=1)
+        store.put("cd" * 32, {"rows": [1, 2]})
+        first = store.get("cd" * 32)
+        first["rows"].append(999)          # caller mutation
+        assert store.get("cd" * 32) == {"rows": [1, 2]}
+
+    def test_tier_defaults_off_and_arms_via_knob(self, tmp_path,
+                                                 monkeypatch):
+        assert ResultCache(tmp_path).mem_stats() is None
+        monkeypatch.setenv("REPRO_CACHE_MEM_MB", "2")
+        assert ResultCache(tmp_path).mem_stats() is not None
+
+    def test_tier_is_identity_neutral_for_campaigns(self, tmp_path):
+        oracle = _oracle()
+        plain = ResultCache(tmp_path / "plain")
+        tiered = ResultCache(tmp_path / "tiered", mem_budget_mb=4)
+        for store in (plain, tiered):
+            cold = run_campaign(echo_unit, SPECS, seed=11, workers=1,
+                                cache=store)
+            warm = run_campaign(echo_unit, SPECS, seed=11, workers=1,
+                                cache=store)
+            assert cold.results == oracle.results
+            assert warm.results == oracle.results
+            assert warm.stats.computed == 0
+        # the warm pass through the tiered store was served from memory
+        stats = tiered.mem_stats()
+        assert stats["hits"] >= len(SPECS)
+
+
+# ---------------------------------------------------------------------------
+# gc of lease litter
+# ---------------------------------------------------------------------------
+
+
+class TestLeaseGc:
+    def _age(self, path, seconds):
+        old = path.stat().st_mtime - seconds
+        os.utime(path, (old, old))
+
+    def test_gc_sweeps_aged_lease_litter(self, tmp_path):
+        store = ResultCache(tmp_path)
+        leases = LeaseManager(store, ttl=60.0)
+        assert leases.claim("dead1") and leases.claim("live1")
+        self._age(leases.path_for("dead1"), 7200.0)
+        # heartbeat tmp + stale-grave litter from a killed owner
+        orphan_tmp = store.lease_dir / "dead2.lease.tmp.99999"
+        orphan_tmp.write_text("{}")
+        self._age(orphan_tmp, 7200.0)
+        grave = store.lease_dir / "dead3.lease.stale.99999.1"
+        grave.write_text("{}")
+        self._age(grave, 7200.0)
+        report = store.gc()
+        assert report["lease_removed"] == ["dead1.lease",
+                                          "dead3.lease.stale.99999.1"]
+        assert report["tmp_removed"] == ["dead2.lease.tmp.99999"]
+        assert leases.path_for("live1").exists()
+
+    def test_gc_sweeps_orphaned_manifest_tmp(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.manifest_dir.mkdir(parents=True)
+        orphan = store.manifest_dir / "run.tmp.12345"
+        orphan.write_text("{}")
+        self._age(orphan, 7200.0)
+        assert store.gc()["tmp_removed"] == ["run.tmp.12345"]
+
+    def test_gc_lease_age_is_tunable(self, tmp_path):
+        store = ResultCache(tmp_path)
+        leases = LeaseManager(store, ttl=60.0)
+        assert leases.claim("d1")
+        self._age(leases.path_for("d1"), 10.0)
+        assert store.gc()["lease_removed"] == []
+        assert store.gc(lease_max_age_s=5.0)["lease_removed"] == \
+            ["d1.lease"]
+
+    def test_gc_report_shape_reaches_the_cli(self, tmp_path, capsys):
+        from repro.__main__ import main
+        leases = LeaseManager(tmp_path, ttl=60.0)
+        assert leases.claim("d1")
+        self._age(leases.path_for("d1"), 7200.0)
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["lease_removed"] == ["d1.lease"]
+
+
+def test_shard_knob_examples_round_trip():
+    # the doc-sync and precedence suites derive from these: keep the
+    # shard knobs' examples parseable and distinct
+    for name in ("shard", "lease_ttl", "shard_poll", "cache_mem_mb"):
+        knob = knobs.REGISTRY[name]
+        parsed = {knob.parse(raw) for raw in knob.examples}
+        assert len(parsed) == len(knob.examples)

@@ -1,0 +1,148 @@
+"""Lease contention under real concurrency: processes, not threads.
+
+The lease protocol's claims — ``O_EXCL`` arbitration, heartbeat
+liveness, stale-lease reclaim after a SIGKILL — only mean anything
+across OS processes, so these tests make them real: separate forked
+processes race one lease file, and a sharded campaign process is
+hard-killed mid-lease so a survivor must reclaim and finish the grid
+with zero recompute of anything already cached.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.campaign import ResultCache, run_campaign
+
+from . import _units
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="needs fork start method")
+
+SPECS = [{"n": 3, "i": i, "s": 0.3} for i in range(8)]
+SEED = 7
+
+
+def _racer(root, digest, barrier, out):
+    """Child body: race one claim, report, skip pytest teardown."""
+    try:
+        _units.lease_claim_racer(root, digest, barrier, out)
+    except BaseException:
+        os._exit(1)
+    os._exit(0)
+
+
+def _sharded_child(cache_dir, marker_dir):
+    """Child body: run shard 0/2 of the grid until SIGKILLed."""
+    specs = [dict(spec, dir=str(marker_dir)) for spec in SPECS]
+    try:
+        run_campaign(_units.slow_touch_unit, specs, seed=SEED,
+                     workers=1, cache=cache_dir, shard=(0, 2))
+    except BaseException:
+        os._exit(1)
+    os._exit(0)
+
+
+def test_racing_claims_have_exactly_one_winner(tmp_path):
+    """N processes release the same starting gate and race one
+    ``claim``: the filesystem must arbitrate to exactly one winner."""
+    ctx = multiprocessing.get_context("fork")
+    racers = 4
+    barrier = tmp_path / "go"
+    outs = [tmp_path / f"verdict-{i}" for i in range(racers)]
+    procs = [ctx.Process(target=_racer,
+                         args=(str(tmp_path), "d" * 64, str(barrier),
+                               str(out)))
+             for out in outs]
+    for proc in procs:
+        proc.start()
+    barrier.write_text("go")
+    for proc in procs:
+        proc.join(timeout=30.0)
+    exit_codes = [proc.exitcode for proc in procs]
+    for proc in procs:
+        proc.close()
+    assert exit_codes == [0] * racers
+    verdicts = sorted(out.read_text() for out in outs)
+    assert verdicts == ["lost"] * (racers - 1) + ["won"]
+    # and the winner's lease landed on disk, owned by a child pid
+    lease = tmp_path / "leases" / ("d" * 64 + ".lease")
+    assert lease.exists()
+
+
+def test_crash_mid_lease_resumes_with_zero_recompute(tmp_path,
+                                                     monkeypatch):
+    """SIGKILL a shard mid-lease; a survivor with a short TTL must
+    reclaim the stranded leases, finish the grid bit-identically, and
+    recompute nothing that was already in the cache."""
+    markers = tmp_path / "markers"
+    markers.mkdir()
+    specs = [dict(spec, dir=str(markers)) for spec in SPECS]
+    cache_dir = tmp_path / "cache"
+    store = ResultCache(cache_dir)
+
+    ctx = multiprocessing.get_context("fork")
+    child = ctx.Process(target=_sharded_child,
+                        args=(str(cache_dir), str(markers)))
+    child.start()
+    try:
+        # let it cache at least one result, then kill it mid-lease:
+        # the shard claims its whole slice up front, so the yet-uncomputed
+        # leases are stranded the instant the owner dies
+        deadline = time.monotonic() + 60.0
+        while len(store) < 1:
+            assert time.monotonic() < deadline, "child cached nothing"
+            assert child.is_alive(), "child exited before the kill"
+            time.sleep(0.02)
+        child.kill()
+        child.join(timeout=30.0)
+        assert child.exitcode == -9
+    finally:
+        if child.is_alive():  # pragma: no cover - cleanup on assert
+            child.kill()
+            child.join(timeout=10.0)
+        child.close()
+
+    cached_at_kill = len(store)
+    assert cached_at_kill < len(SPECS), "child finished before the kill"
+    stranded = list((cache_dir / "leases").glob("*.lease"))
+    assert stranded, "SIGKILL left no lease behind"
+
+    # survivor: stale leases age out fast, then get stolen
+    monkeypatch.setenv("REPRO_LEASE_TTL", "0.5")
+    monkeypatch.setenv("REPRO_SHARD_POLL", "0.05")
+    survivor = run_campaign(_units.slow_touch_unit, specs, seed=SEED,
+                            workers=1, cache=cache_dir, shard=(1, 2))
+    assert survivor.stats.quarantined == 0
+
+    # zero recompute of cached work: everything cached at kill time is
+    # absorbed, only the remainder is computed — and each computation
+    # leaves a marker with the survivor's pid, so the marker count
+    # cross-checks the stats
+    assert survivor.stats.cached == cached_at_kill
+    assert survivor.stats.computed == len(SPECS) - cached_at_kill
+    mine = [m for m in markers.iterdir()
+            if m.name.endswith(f"-{os.getpid()}")]
+    assert len(mine) == survivor.stats.computed
+
+    # the grid is complete and consistent; no lease survives the drain
+    assert len(store) == len(SPECS)
+    report = store.fsck()
+    assert report["ok"] == len(SPECS)
+    assert report["quarantined"] == []
+    assert not list((cache_dir / "leases").glob("*.lease"))
+
+    # replay over the merged cache: nothing to do, same results
+    replay = run_campaign(_units.slow_touch_unit, specs, seed=SEED,
+                          workers=1, cache=cache_dir)
+    assert replay.stats.computed == 0
+    assert replay.results == survivor.results
+
+    # oracle last (the marker dir rides inside the spec, so the oracle
+    # must share it — running it after the counts keeps them honest)
+    oracle = run_campaign(_units.slow_touch_unit, specs, seed=SEED,
+                          workers=1, cache=None)
+    assert survivor.results == oracle.results
